@@ -1,0 +1,48 @@
+"""Ablation A1 -- value of each refinement step (DESIGN.md, Sec. 6)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_rows
+from repro.core.detectors.pipeline import WashTradingPipeline
+from repro.core.refine import RefinementFunnel
+
+
+def run_with_flags(world, dataset, **flags):
+    funnel = RefinementFunnel(world.labels, world.is_contract, **flags)
+    pipeline = WashTradingPipeline(
+        labels=world.labels, is_contract=world.is_contract, funnel=funnel
+    )
+    return pipeline.run(dataset)
+
+
+def test_ablation_refinement(benchmark, paper_world, paper_report):
+    dataset = paper_report.dataset
+
+    def ablate_all():
+        return run_with_flags(
+            paper_world,
+            dataset,
+            skip_service_removal=True,
+            skip_contract_removal=True,
+            skip_zero_volume_removal=True,
+        )
+
+    no_refinement = benchmark(ablate_all)
+    full = paper_report.result
+    no_services = run_with_flags(paper_world, dataset, skip_service_removal=True)
+    no_zero_volume = run_with_flags(paper_world, dataset, skip_zero_volume_removal=True)
+
+    print_rows(
+        "Ablation: refinement steps",
+        ["variant", "candidates", "confirmed activities"],
+        [
+            ["full refinement (paper)", full.candidate_count, full.activity_count],
+            ["no service-account removal", no_services.candidate_count, no_services.activity_count],
+            ["no zero-volume removal", no_zero_volume.candidate_count, no_zero_volume.activity_count],
+            ["no refinement at all", no_refinement.candidate_count, no_refinement.activity_count],
+        ],
+    )
+    # Each disabled step inflates the candidate set the detectors must face.
+    assert no_refinement.candidate_count > full.candidate_count
+    assert no_zero_volume.candidate_count > full.candidate_count
+    assert no_services.candidate_count >= full.candidate_count

@@ -1,0 +1,20 @@
+"""Experiment F2 -- Fig. 2: Venn diagram of the confirmation techniques."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_rows
+
+
+def test_fig2_detection_venn(benchmark, paper_report):
+    venn = benchmark(paper_report.figure_venn)
+    print_rows(
+        "Fig. 2 - activities confirmed by each method combination",
+        ["methods", "activities"],
+        [[key, count] for key, count in sorted(venn.items())],
+    )
+    result = paper_report.result
+    # Shape checks: the funder+exit overlap is the largest region and most
+    # activities are confirmed by at least two transaction-analysis methods.
+    largest = max(venn, key=venn.get)
+    assert "common-funder" in largest and "common-exit" in largest
+    assert result.confirmed_by_at_least(2) / result.activity_count > 0.5

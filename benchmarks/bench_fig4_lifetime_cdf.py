@@ -1,0 +1,21 @@
+"""Experiment F4 -- Fig. 4: CDF of wash trading activity lifetimes."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_rows
+
+
+def test_fig4_lifetime_cdf(benchmark, paper_report):
+    lifetime = benchmark(paper_report.figure_lifetime_cdf)
+    print_rows(
+        "Fig. 4 - lifetime of wash trading activities",
+        ["statistic", "value"],
+        [
+            ["activities <= 1 day", f"{lifetime.activities_within_one_day} ({lifetime.fraction_within_one_day:.1%})"],
+            ["activities <= 10 days", f"{lifetime.activities_within_ten_days} ({lifetime.fraction_within_ten_days:.1%})"],
+            ["CDF points", len(lifetime.points_days)],
+        ],
+    )
+    # Shape checks (paper: ~33% within a day, >50% within ten days).
+    assert lifetime.fraction_within_one_day > 0.15
+    assert lifetime.fraction_within_ten_days > 0.45

@@ -1,0 +1,33 @@
+"""Experiment F5 -- Fig. 5: wash events vs collection creation dates."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_rows
+from repro.core.characterization.temporal import creation_proximity
+from repro.utils.timeutil import format_day
+
+
+def test_fig5_creation_timeline(benchmark, paper_world, paper_report):
+    timeline = benchmark(paper_report.figure_creation_timeline)
+    print_rows(
+        "Fig. 5 - top collections: creation date and wash events",
+        ["collection", "created", "washed NFTs", "first event", "last event"],
+        [
+            [
+                row.name,
+                format_day(row.creation_timestamp),
+                row.washed_nft_count,
+                format_day(row.activity_timestamps[0]),
+                format_day(row.activity_timestamps[-1]),
+            ]
+            for row in timeline
+        ],
+    )
+    assert 0 < len(timeline) <= 10
+    # Shape check: the bulk of wash activity starts within a month of the
+    # targeted collection's creation.
+    proximities = creation_proximity(
+        paper_report.result, paper_world.collection_creation_timestamps()
+    )
+    near = sum(1 for days in proximities if days <= 30)
+    assert near / len(proximities) > 0.6

@@ -1,0 +1,21 @@
+"""Experiment F6 -- Fig. 6: number of accounts involved in activities."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_rows
+
+
+def test_fig6_account_counts(benchmark, paper_report):
+    figure = benchmark(paper_report.figure_account_counts)
+    print_rows(
+        "Fig. 6 - accounts per wash trading activity",
+        ["accounts", "activities", "fraction"],
+        [
+            [key, figure.counts[key], f"{figure.fractions[key]:.1%}"]
+            for key in figure.counts
+        ],
+    )
+    # Shape checks (paper: ~60% two accounts, ~7.6% single-account self-trades).
+    assert figure.fractions["2"] > 0.4
+    assert figure.fractions["2"] == max(figure.fractions.values())
+    assert 0 < figure.fractions["1"] < 0.2

@@ -1,0 +1,19 @@
+"""Experiment S-funnel -- the candidate refinement funnel (Sec. IV-A/B)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_rows
+
+
+def test_funnel_refinement(benchmark, paper_report):
+    rows = benchmark(paper_report.funnel)
+    print_rows(
+        "Refinement funnel (Sec. IV-A/B)",
+        ["stage", "NFTs with component", "components", "accounts"],
+        [[row.stage, row.nft_count, row.component_count, row.account_count] for row in rows],
+    )
+    nft_counts = [row.nft_count for row in rows]
+    # Shape checks: each refinement stage narrows the candidate set and the
+    # zero-volume filter is the biggest single cut after the raw search.
+    assert nft_counts == sorted(nft_counts, reverse=True)
+    assert nft_counts[0] > nft_counts[-1] > 0

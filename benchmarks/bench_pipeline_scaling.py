@@ -1,0 +1,35 @@
+"""Experiment S-scale -- end-to-end pipeline wall-clock scaling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detectors.pipeline import WashTradingPipeline
+from repro.ingest.dataset import build_dataset
+from repro.simulation.builder import build_default_world
+from repro.simulation.config import SimulationConfig
+
+
+def run_full_pipeline(world):
+    dataset = build_dataset(world.node, world.marketplace_addresses)
+    pipeline = WashTradingPipeline(labels=world.labels, is_contract=world.is_contract)
+    return pipeline.run(dataset)
+
+
+@pytest.mark.parametrize(
+    "label,config",
+    [
+        ("tiny", SimulationConfig.tiny()),
+        ("small", SimulationConfig.small()),
+        ("default", SimulationConfig()),
+    ],
+    ids=["tiny", "small", "default"],
+)
+def test_pipeline_scaling(benchmark, label, config):
+    world = build_default_world(config)
+    result = benchmark.pedantic(run_full_pipeline, args=(world,), iterations=1, rounds=3)
+    print(
+        f"\n== pipeline scaling [{label}] == transfers={world.chain.transaction_count()}"
+        f" candidates={result.candidate_count} activities={result.activity_count}"
+    )
+    assert result.activity_count > 0

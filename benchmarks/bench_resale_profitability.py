@@ -1,0 +1,31 @@
+"""Experiment S-resale -- NFT resale profitability (Sec. VI-B)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_rows
+
+
+def test_resale_profitability(benchmark, paper_report):
+    resale = benchmark(paper_report.resale_profitability)
+    print_rows(
+        "NFT resale after wash trading (Sec. VI-B)",
+        ["statistic", "value"],
+        [
+            ["activities on non-reward venues", resale.total_activities],
+            ["never resold", f"{resale.unsold_count} ({resale.unsold_fraction:.1%})"],
+            ["resold same day", f"{resale.sold_same_day_fraction():.1%}"],
+            ["resold within a month", f"{resale.sold_within_month_fraction():.1%}"],
+            ["success rate, price difference only", f"{resale.success_rate_gross():.1%}"],
+            ["success rate, fees included (ETH)", f"{resale.success_rate_net():.1%}"],
+            ["success rate, fees included (USD)", f"{resale.success_rate_usd():.1%}"],
+            ["mean gain of winners (ETH)", f"{resale.mean_gain_eth():.2f}"],
+            ["mean loss of losers (ETH)", f"{resale.mean_loss_eth():.2f}"],
+            ["max gain (ETH)", f"{resale.max_gain_eth():.2f}"],
+            ["max loss (ETH)", f"{resale.max_loss_eth():.2f}"],
+        ],
+    )
+    # Shape checks: a large share of washed NFTs is never resold, and once
+    # fees are included roughly half of the resales lose money.
+    assert resale.unsold_fraction > 0.4
+    assert 0.2 <= resale.success_rate_net() <= 0.85
+    assert resale.success_rate_net() <= resale.success_rate_gross()

@@ -1,0 +1,27 @@
+"""Experiment S-serial -- serial wash traders (Sec. V-D)."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_rows
+
+
+def test_serial_traders(benchmark, paper_report):
+    stats = benchmark(paper_report.serial_traders)
+    print_rows(
+        "Serial wash traders (Sec. V-D)",
+        ["statistic", "value"],
+        [
+            ["involved accounts", stats.total_accounts],
+            ["serial accounts", f"{stats.serial_accounts} ({stats.serial_account_fraction:.1%})"],
+            ["activities with a serial participant", f"{stats.activities_with_serial} ({stats.serial_activity_fraction:.1%})"],
+            ["mean activities per serial trader", f"{stats.mean_activities_per_serial:.2f}"],
+            ["max activities by one account", stats.max_activities_by_one_account],
+            ["serial traders hitting one collection repeatedly", stats.serial_traders_hitting_same_collection],
+            ["serial traders collaborating only with serials", stats.serial_only_collaborators],
+        ],
+    )
+    # Shape checks: a minority of accounts is responsible for a majority of
+    # activities, and serial traders average well above two activities.
+    assert stats.serial_account_fraction < 0.5
+    assert stats.serial_activity_fraction > 0.5
+    assert stats.mean_activities_per_serial >= 2.0

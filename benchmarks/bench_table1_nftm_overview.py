@@ -1,0 +1,21 @@
+"""Experiment T1 -- Table I: per-marketplace NFTs, transactions and volume."""
+
+from __future__ import annotations
+
+from benchmarks.conftest import print_rows
+
+
+def test_table1_nftm_overview(benchmark, paper_report):
+    rows = benchmark(paper_report.table_one)
+    print_rows(
+        "Table I - data collected about NFTMs",
+        ["NFTM", "NFTs", "Transactions", "Volume ($)"],
+        [
+            [row.marketplace, row.nft_count, row.transaction_count, f"{row.volume_usd:,.0f}"]
+            for row in rows
+        ],
+    )
+    by_name = {row.marketplace: row for row in rows}
+    # Shape check: OpenSea is the busiest venue by NFT and transaction count.
+    assert by_name["OpenSea"].nft_count == max(row.nft_count for row in rows)
+    assert by_name["OpenSea"].transaction_count == max(row.transaction_count for row in rows)

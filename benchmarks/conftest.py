@@ -1,0 +1,38 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures from
+the same default synthetic world (seed 42).  The world and the pipeline
+run are session-scoped so each benchmark times only the analysis it is
+about; ``bench_pipeline_scaling`` builds its own smaller worlds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import PaperReport
+from repro.simulation.builder import build_default_world
+from repro.simulation.config import SimulationConfig
+
+
+@pytest.fixture(scope="session")
+def paper_world():
+    """The default calibrated world used by every per-artifact benchmark."""
+    return build_default_world(SimulationConfig())
+
+
+@pytest.fixture(scope="session")
+def paper_report(paper_world):
+    """A cached full pipeline run over the default world."""
+    report = PaperReport(paper_world)
+    report.run()
+    return report
+
+
+def print_rows(title, headers, rows):
+    """Print a regenerated artifact so it can be compared with the paper."""
+    from repro.analysis.tables import format_table
+
+    print()
+    print(f"== {title} ==")
+    print(format_table(headers, rows))

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Marketplace-side monitoring (paper Sec. IX, "Can marketplaces prevent
+wash trading activities?").
+
+The paper argues venues could flag suspicious NFTs as they trade.  This
+example replays the chain in windows of blocks and re-runs the detection
+pipeline on each growing prefix, showing how many activities a venue
+monitoring the chain would have flagged at each point in time -- i.e. the
+same pipeline used as an incremental watchdog rather than a post-hoc
+measurement.
+
+Run with:  python examples/marketplace_monitoring.py
+"""
+
+from __future__ import annotations
+
+from repro import build_default_world
+from repro.core.detectors.pipeline import WashTradingPipeline
+from repro.ingest.dataset import build_dataset
+from repro.simulation import SimulationConfig
+from repro.utils.currency import wei_to_eth
+from repro.utils.timeutil import format_day
+
+
+def main() -> None:
+    world = build_default_world(SimulationConfig.small(seed=33))
+    node = world.node
+    pipeline = WashTradingPipeline(labels=world.labels, is_contract=world.is_contract)
+
+    head = node.block_number
+    windows = 6
+    window_size = max(head // windows, 1)
+
+    print("Incremental wash trading monitoring")
+    print("=" * 72)
+    print(f"{'as of block':>12}  {'date':>10}  {'flagged NFTs':>12}  {'new':>4}  {'artificial volume':>18}")
+
+    previously_flagged: set = set()
+    for window in range(1, windows + 1):
+        upper_block = min(window * window_size, head)
+        dataset = build_dataset(node, world.marketplace_addresses, to_block=upper_block)
+        result = pipeline.run(dataset)
+        flagged = result.washed_nfts()
+        new = flagged - previously_flagged
+        timestamp = node.get_block(upper_block).timestamp
+        print(
+            f"{upper_block:>12}  {format_day(timestamp):>10}  {len(flagged):>12}  {len(new):>4}"
+            f"  {wei_to_eth(result.total_wash_volume_wei):>14,.1f} ETH"
+        )
+        previously_flagged |= flagged
+
+    print()
+    print(
+        "A venue subscribed to this pipeline could warn buyers on the NFT page "
+        "or withhold reward tokens from the flagged accounts as soon as an "
+        "activity is confirmed."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Resale pumping on OpenSea-style venues (paper Sec. VI-B, VII).
+
+Shows the resale profitability breakdown (how often a pumped NFT finds a
+buyer, and whether the operation covers its fees) plus the rarity-game
+pattern of the paper's last case study.
+
+Run with:  python examples/resale_pump_investigation.py
+"""
+
+from __future__ import annotations
+
+from repro import PaperReport, build_default_world
+from repro.core.profitability.case_studies import best_resale_operation, find_rarity_games
+from repro.simulation import SimulationConfig
+from repro.utils.currency import format_usd
+
+
+def main() -> None:
+    world = build_default_world(SimulationConfig.small(seed=21))
+    report = PaperReport(world)
+    report.run()
+
+    resale = report.resale_profitability()
+    print("Reselling wash-traded NFTs (Sec. VI-B)")
+    print("=" * 60)
+    print(f"  activities on venues without reward tokens : {resale.total_activities}")
+    print(f"  never resold to an outsider                : {resale.unsold_count} ({resale.unsold_fraction:.1%})")
+    print(f"  resold the day the manipulation ended      : {resale.sold_same_day_fraction():.1%}")
+    print(f"  resold within a month                      : {resale.sold_within_month_fraction():.1%}")
+    print()
+    print(f"  success rate, price difference only        : {resale.success_rate_gross():.1%}")
+    print(f"  success rate, fees included (ETH)          : {resale.success_rate_net():.1%}")
+    print(f"  success rate, USD at transaction dates     : {resale.success_rate_usd():.1%}")
+    print(f"  mean gain of winners                       : {resale.mean_gain_eth():.2f} ETH")
+    print(f"  mean loss of losers                        : {resale.mean_loss_eth():.2f} ETH")
+
+    best = best_resale_operation(resale.outcomes)
+    if best is not None:
+        component = best.activity.component
+        print("\nCase study: the best resale pump")
+        print("=" * 60)
+        print(f"  NFT              : {component.nft}")
+        print(f"  venue            : {best.venue}")
+        print(f"  wash trades      : {component.transfer_count}")
+        print(f"  bought for       : {best.buy_price_wei / 10**18:.3f} ETH")
+        print(f"  resold for       : {best.resell_price_wei / 10**18:.3f} ETH")
+        print(f"  fees spent       : {best.fees_wei / 10**18:.3f} ETH")
+        print(f"  net profit       : {best.net_profit_eth:.3f} ETH ({format_usd(best.net_profit_usd)})")
+
+    games = find_rarity_games(report.result)
+    print("\nRarity games (sell on a venue, hand back off-market for free)")
+    print("=" * 60)
+    if not games:
+        print("  none found in this seed")
+    for case in games:
+        print(
+            f"  seller {case.seller[:12]}… on {case.activity.nft}: "
+            f"{case.paid_marketplace_sales} paid sales, "
+            f"{case.free_offmarket_returns} free returns"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Compatibility shim for environments without PEP 660 editable-install support.
+
+The project is fully described by ``pyproject.toml``; this file only lets
+``python setup.py develop`` work on older setuptools installations that
+lack the ``wheel`` package (e.g. fully offline machines).
+"""
+
+from setuptools import setup
+
+setup()

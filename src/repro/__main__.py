@@ -1,0 +1,83 @@
+"""Command-line entry point: ``python -m repro``.
+
+Builds a synthetic world, runs the full wash trading pipeline and prints
+the reproduction report (every table and figure of the paper's
+evaluation).  Useful as a one-command smoke test of the whole system.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.analysis.report import PaperReport
+from repro.simulation.builder import build_default_world
+from repro.simulation.config import SimulationConfig
+
+PRESETS = {
+    "tiny": SimulationConfig.tiny,
+    "small": SimulationConfig.small,
+    "default": SimulationConfig,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The command-line interface definition."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce 'A Game of NFTs: Characterizing NFT Wash Trading in the "
+            "Ethereum Blockchain' on a synthetic world."
+        ),
+    )
+    parser.add_argument(
+        "--preset",
+        choices=sorted(PRESETS),
+        default="small",
+        help="size of the synthetic world to build (default: small)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=None, help="override the world's random seed"
+    )
+    parser.add_argument(
+        "--output", type=str, default=None, help="also write the report to this file"
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="print only the summary line"
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run the reproduction and return a process exit code."""
+    args = build_parser().parse_args(argv)
+    config = PRESETS[args.preset]()
+    if args.seed is not None:
+        config.seed = args.seed
+
+    started = time.time()
+    world = build_default_world(config)
+    report = PaperReport(world)
+    text = report.render_text()
+    elapsed = time.time() - started
+
+    if not args.quiet:
+        print(text)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+
+    result = report.result
+    score = world.ground_truth.match_against(result.washed_nfts())
+    print(
+        f"\n[{args.preset}] {world.chain.transaction_count()} transactions, "
+        f"{result.activity_count} confirmed wash trading activities, "
+        f"recall {score.recall:.1%} on planted ground truth, {elapsed:.1f}s"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

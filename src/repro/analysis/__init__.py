@@ -1,0 +1,42 @@
+"""Regeneration of the paper's tables and figures from a pipeline run."""
+
+from repro.analysis.cdf import empirical_cdf, cdf_at
+from repro.analysis.tables import (
+    TableOneRow,
+    TableTwoRow,
+    TableThreeColumn,
+    table_one,
+    table_two,
+    table_three,
+    format_table,
+)
+from repro.analysis.figures import (
+    figure_venn,
+    figure_volume_cdf,
+    figure_lifetime_cdf,
+    figure_creation_timeline,
+    figure_account_counts,
+    figure_patterns,
+)
+from repro.analysis.funnel import funnel_rows
+from repro.analysis.report import PaperReport
+
+__all__ = [
+    "empirical_cdf",
+    "cdf_at",
+    "TableOneRow",
+    "TableTwoRow",
+    "TableThreeColumn",
+    "table_one",
+    "table_two",
+    "table_three",
+    "format_table",
+    "figure_venn",
+    "figure_volume_cdf",
+    "figure_lifetime_cdf",
+    "figure_creation_timeline",
+    "figure_account_counts",
+    "figure_patterns",
+    "funnel_rows",
+    "PaperReport",
+]

@@ -1,0 +1,44 @@
+"""Empirical CDF helpers used by the figure generators."""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import List, Sequence, Tuple
+
+
+def empirical_cdf(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """The empirical CDF of a sample as (value, cumulative fraction) points.
+
+    Duplicate values collapse into a single point carrying the cumulative
+    fraction after all of them; an empty sample yields an empty list.
+    """
+    if not values:
+        return []
+    ordered = sorted(values)
+    total = len(ordered)
+    points: List[Tuple[float, float]] = []
+    for index, value in enumerate(ordered, start=1):
+        if points and points[-1][0] == value:
+            points[-1] = (value, index / total)
+        else:
+            points.append((value, index / total))
+    return points
+
+
+def cdf_at(values: Sequence[float], threshold: float) -> float:
+    """Fraction of the sample less than or equal to ``threshold``."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    return bisect_right(ordered, threshold) / len(ordered)
+
+
+def quantile(values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile (0..1) of the sample using nearest-rank."""
+    if not values:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("quantile must be in [0, 1]")
+    ordered = sorted(values)
+    rank = min(int(q * len(ordered)), len(ordered) - 1)
+    return ordered[rank]

@@ -1,0 +1,160 @@
+"""The paper's figures as data series.
+
+Each helper returns the series a plotting library would consume; the
+benchmark harness prints the series (or summary points on them) so the
+figure can be compared against the paper without a display.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.activity import DetectionMethod
+from repro.core.characterization.patterns import (
+    account_count_distribution,
+    account_count_fractions,
+    classify_activities,
+)
+from repro.core.characterization.temporal import (
+    CollectionTimeline,
+    lifetimes_seconds,
+    top_collections_timeline,
+)
+from repro.core.characterization.volume import legitimate_activity_volumes_wei
+from repro.core.detectors.pipeline import PipelineResult
+from repro.analysis.cdf import empirical_cdf
+from repro.ingest.dataset import NFTDataset
+from repro.services.oracle import PriceOracle
+from repro.utils.timeutil import SECONDS_PER_DAY
+
+
+# -- Fig. 2: Venn diagram ------------------------------------------------------------
+def figure_venn(result: PipelineResult) -> Dict[str, int]:
+    """Fig. 2: the region sizes of the three-method Venn diagram.
+
+    Keys are '+'-joined sorted method names ("common-exit+common-funder"
+    for the pairwise overlap, etc.).
+    """
+    regions: Dict[str, int] = {}
+    for methods, count in result.venn_counts().items():
+        key = "+".join(sorted(method.value for method in methods))
+        regions[key] = count
+    return regions
+
+
+# -- Fig. 3: wash vs legitimate volume CDFs ---------------------------------------------
+@dataclass
+class VolumeCDFSeries:
+    """One CDF series of Fig. 3."""
+
+    label: str
+    points: List[Tuple[float, float]]
+
+
+def figure_volume_cdf(
+    result: PipelineResult, dataset: NFTDataset, oracle: PriceOracle
+) -> List[VolumeCDFSeries]:
+    """Fig. 3: per-venue wash activity volume CDFs vs the legit-volume CDF.
+
+    Volumes are in USD, valued at each activity's first trade.
+    """
+    series: List[VolumeCDFSeries] = []
+
+    legit_volumes_usd = []
+    for nft, transfers in dataset.transfers_by_nft.items():
+        if nft in result.washed_nfts():
+            continue
+        total = sum(transfer.price_wei for transfer in transfers)
+        if total <= 0:
+            continue
+        legit_volumes_usd.append(oracle.wei_to_usd(total, transfers[0].timestamp))
+    series.append(
+        VolumeCDFSeries(label="Volume w/o wash trading", points=empirical_cdf(legit_volumes_usd))
+    )
+
+    by_venue: Dict[str, List[float]] = {}
+    for activity in result.activities:
+        venue = activity.component.dominant_marketplace()
+        if venue is None:
+            continue
+        usd = oracle.wei_to_usd(activity.volume_wei, activity.component.first_timestamp)
+        by_venue.setdefault(venue, []).append(usd)
+    for venue in sorted(by_venue):
+        series.append(
+            VolumeCDFSeries(label=venue, points=empirical_cdf(by_venue[venue]))
+        )
+    return series
+
+
+# -- Fig. 4: lifetime CDF --------------------------------------------------------------------
+@dataclass
+class LifetimeCDF:
+    """Fig. 4: the lifetime CDF plus the two highlighted points."""
+
+    points_days: List[Tuple[float, float]]
+    fraction_within_one_day: float
+    fraction_within_ten_days: float
+    activities_within_one_day: int
+    activities_within_ten_days: int
+
+
+def figure_lifetime_cdf(result: PipelineResult) -> LifetimeCDF:
+    """Fig. 4: CDF of activity lifetimes, in days."""
+    lifetimes_days = [value / SECONDS_PER_DAY for value in lifetimes_seconds(result.activities)]
+    total = len(lifetimes_days)
+    within_one = sum(1 for value in lifetimes_days if value <= 1.0)
+    within_ten = sum(1 for value in lifetimes_days if value <= 10.0)
+    return LifetimeCDF(
+        points_days=empirical_cdf(lifetimes_days),
+        fraction_within_one_day=within_one / total if total else 0.0,
+        fraction_within_ten_days=within_ten / total if total else 0.0,
+        activities_within_one_day=within_one,
+        activities_within_ten_days=within_ten,
+    )
+
+
+# -- Fig. 5: creation timeline -----------------------------------------------------------------
+def figure_creation_timeline(
+    result: PipelineResult,
+    creation_timestamps: Mapping[str, int],
+    names: Optional[Mapping[str, str]] = None,
+    top_n: int = 10,
+) -> List[CollectionTimeline]:
+    """Fig. 5: wash events vs creation date for the top affected collections."""
+    return top_collections_timeline(
+        result, creation_timestamps, names=names, top_n=top_n
+    )
+
+
+# -- Fig. 6: accounts per activity ----------------------------------------------------------------
+@dataclass
+class AccountCountFigure:
+    """Fig. 6: counts and fractions of activities per participant count."""
+
+    counts: Dict[str, int]
+    fractions: Dict[str, float]
+
+
+def figure_account_counts(result: PipelineResult) -> AccountCountFigure:
+    """Fig. 6: the distribution of the number of accounts per activity."""
+    return AccountCountFigure(
+        counts=account_count_distribution(result.activities),
+        fractions=account_count_fractions(result.activities),
+    )
+
+
+# -- Fig. 7: structural patterns ---------------------------------------------------------------------
+def figure_patterns(result: PipelineResult) -> Dict[str, int]:
+    """Fig. 7: occurrences of each canonical SCC pattern.
+
+    Keys are "pattern-<id>" plus "other" for shapes outside the library.
+    """
+    raw = classify_activities(result.activities)
+    figure: Dict[str, int] = {}
+    for pattern_id, count in sorted(
+        raw.items(), key=lambda item: (item[0] is None, item[0])
+    ):
+        key = "other" if pattern_id is None else f"pattern-{pattern_id}"
+        figure[key] = count
+    return figure

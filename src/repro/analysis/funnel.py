@@ -1,0 +1,31 @@
+"""The refinement funnel as a printable series (Sec. IV-A/B running text)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.refine import RefinementResult
+
+
+@dataclass(frozen=True)
+class FunnelRow:
+    """One stage of the candidate refinement funnel."""
+
+    stage: str
+    nft_count: int
+    component_count: int
+    account_count: int
+
+
+def funnel_rows(refinement: RefinementResult) -> List[FunnelRow]:
+    """The four funnel stages in order."""
+    return [
+        FunnelRow(
+            stage=stage.name,
+            nft_count=stage.nft_count,
+            component_count=stage.component_count,
+            account_count=stage.account_count,
+        )
+        for stage in refinement.stages
+    ]

@@ -1,0 +1,51 @@
+"""An in-memory Ethereum ledger.
+
+This package is the substrate the paper takes for granted: the real
+Ethereum mainnet accessed through a local Geth node.  It models the
+observables the paper's pipeline consumes -- blocks, transactions,
+receipts with topic-encoded logs, EOA/contract accounts, ETH balances
+and gas fees -- and exposes them through :class:`EthereumNode`, a
+web3.py-like read facade.
+"""
+
+from repro.chain.types import NFTKey, Call, ValueTransfer
+from repro.chain.errors import (
+    ChainError,
+    InsufficientBalanceError,
+    UnknownAccountError,
+    ContractExecutionError,
+    InvalidTimestampError,
+)
+from repro.chain.account import Account
+from repro.chain.events import Log
+from repro.chain.transaction import Transaction, Receipt
+from repro.chain.block import Block
+from repro.chain.state import WorldState
+from repro.chain.gas import GasSchedule, GasPriceOracle
+from repro.chain.context import TxContext
+from repro.chain.chain import Chain
+from repro.chain.node import EthereumNode
+from repro.chain.index import AccountIndex
+
+__all__ = [
+    "NFTKey",
+    "Call",
+    "ValueTransfer",
+    "ChainError",
+    "InsufficientBalanceError",
+    "UnknownAccountError",
+    "ContractExecutionError",
+    "InvalidTimestampError",
+    "Account",
+    "Log",
+    "Transaction",
+    "Receipt",
+    "Block",
+    "WorldState",
+    "GasSchedule",
+    "GasPriceOracle",
+    "TxContext",
+    "Chain",
+    "EthereumNode",
+    "AccountIndex",
+]

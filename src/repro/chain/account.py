@@ -1,0 +1,61 @@
+"""Accounts: externally owned accounts (EOAs) and contract accounts.
+
+The distinction matters for the paper's refinement step: contract
+accounts are excluded from transaction graphs, and the exclusion is done
+exactly as in the paper -- "we only exclude accounts that contain
+bytecode".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass
+class Account:
+    """State of a single Ethereum account.
+
+    Parameters
+    ----------
+    address:
+        The 20-byte hex address.
+    balance_wei:
+        Current ETH balance in wei.
+    nonce:
+        Number of transactions sent from this account.
+    code:
+        Contract bytecode.  ``None`` for EOAs; any non-empty ``bytes``
+        marks the account as a smart contract.  The reproduction stores a
+        short synthetic marker rather than real EVM bytecode -- the only
+        observable the pipeline uses is *presence* of code.
+    contract:
+        The Python object implementing the contract's behaviour, if any.
+    """
+
+    address: str
+    balance_wei: int = 0
+    nonce: int = 0
+    code: Optional[bytes] = None
+    contract: Optional[Any] = None
+
+    @property
+    def is_contract(self) -> bool:
+        """True if the account holds bytecode (the paper's contract test)."""
+        return bool(self.code)
+
+    def credit(self, amount_wei: int) -> None:
+        """Add wei to the balance."""
+        if amount_wei < 0:
+            raise ValueError(f"cannot credit a negative amount: {amount_wei}")
+        self.balance_wei += amount_wei
+
+    def debit(self, amount_wei: int) -> None:
+        """Remove wei from the balance; the caller must have checked funds."""
+        if amount_wei < 0:
+            raise ValueError(f"cannot debit a negative amount: {amount_wei}")
+        if amount_wei > self.balance_wei:
+            raise ValueError(
+                f"debit {amount_wei} exceeds balance {self.balance_wei} of {self.address}"
+            )
+        self.balance_wei -= amount_wei

@@ -1,0 +1,28 @@
+"""Blocks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.chain.transaction import Transaction
+
+
+@dataclass
+class Block:
+    """A sealed block: a number, a timestamp and its transactions."""
+
+    number: int
+    timestamp: int
+    transactions: list[Transaction] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[Transaction]:
+        return iter(self.transactions)
+
+    def __len__(self) -> int:
+        return len(self.transactions)
+
+    @property
+    def transaction_hashes(self) -> list[str]:
+        """Hashes of the transactions in this block, in order."""
+        return [tx.hash for tx in self.transactions]

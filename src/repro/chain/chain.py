@@ -1,0 +1,203 @@
+"""The ledger itself: transaction execution and block production."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.chain.block import Block
+from repro.chain.context import TxContext
+from repro.chain.errors import (
+    ContractExecutionError,
+    InsufficientBalanceError,
+    InvalidTimestampError,
+)
+from repro.chain.gas import GasPriceOracle, GasSchedule
+from repro.chain.index import AccountIndex
+from repro.chain.state import WorldState
+from repro.chain.transaction import Receipt, Transaction
+from repro.chain.types import Call, ValueTransfer
+from repro.utils.hashing import address_from_parts, new_tx_hash
+from repro.utils.timeutil import SIMULATION_EPOCH
+
+#: Address credited with gas fees (a stand-in for miners/validators).
+COINBASE_ADDRESS = "0x" + "c0ffee" * 6 + "c0ff"
+
+
+class Chain:
+    """An append-only ledger executing transactions into blocks.
+
+    One block is produced per distinct transaction timestamp; timestamps
+    must be non-decreasing.  Every state effect of a transaction --
+    including internal ETH movements made by contract code -- is recorded
+    on its receipt so downstream consumers see the same observables a
+    real node exposes through receipts and traces.
+    """
+
+    def __init__(
+        self,
+        gas_schedule: Optional[GasSchedule] = None,
+        gas_price_oracle: Optional[GasPriceOracle] = None,
+        genesis_timestamp: int = SIMULATION_EPOCH,
+    ) -> None:
+        self.state = WorldState()
+        self.gas_schedule = gas_schedule or GasSchedule()
+        self.gas_price_oracle = gas_price_oracle or GasPriceOracle()
+        self.genesis_timestamp = genesis_timestamp
+        self.blocks: List[Block] = []
+        self.account_index = AccountIndex()
+        self._tx_by_hash: Dict[str, Transaction] = {}
+        self._contract_serial = 0
+
+    # -- chain head ---------------------------------------------------------
+    @property
+    def head_block_number(self) -> int:
+        """Number of the most recent block (-1 before any transaction)."""
+        return self.blocks[-1].number if self.blocks else -1
+
+    @property
+    def head_timestamp(self) -> int:
+        """Timestamp of the most recent block (genesis time before any block)."""
+        return self.blocks[-1].timestamp if self.blocks else self.genesis_timestamp
+
+    def transaction_count(self) -> int:
+        """Total number of transactions on the chain."""
+        return len(self._tx_by_hash)
+
+    # -- funding and deployment ----------------------------------------------
+    def faucet(self, address: str, amount_wei: int) -> None:
+        """Credit an address with freshly minted ETH.
+
+        This models value entering the simulated world from outside
+        (genesis allocations, mining income, fiat on-ramps feeding
+        exchange hot wallets); ordinary users should instead be funded
+        on-chain by the simulation so funding relationships stay visible.
+        """
+        self.state.mint_ether(address, amount_wei)
+
+    def deploy_contract(self, contract: object, address: Optional[str] = None) -> str:
+        """Register a contract object on the chain and return its address."""
+        if address is None:
+            self._contract_serial += 1
+            address = address_from_parts("contract", self._contract_serial)
+        self.state.deploy(address, contract)
+        bind = getattr(contract, "bind", None)
+        if callable(bind):
+            bind(address, self)
+        return address
+
+    # -- execution ------------------------------------------------------------
+    def transact(
+        self,
+        sender: str,
+        to: Optional[str] = None,
+        value_wei: int = 0,
+        call: Optional[Call] = None,
+        timestamp: Optional[int] = None,
+        gas_price_wei: Optional[int] = None,
+    ) -> Transaction:
+        """Execute one transaction and append it to the chain.
+
+        Parameters mirror a raw Ethereum transaction: ``sender`` signs and
+        pays, ``to`` receives value or hosts the called contract, ``call``
+        is the decoded input data.  Raises
+        :class:`InsufficientBalanceError` if the sender cannot cover value
+        plus gas, and :class:`ContractExecutionError` if the target
+        contract reverts (the reverted transaction is still recorded, with
+        ``status=0`` and its gas charged).
+        """
+        timestamp = self.head_timestamp if timestamp is None else timestamp
+        if timestamp < self.head_timestamp:
+            raise InvalidTimestampError(timestamp, self.head_timestamp)
+
+        block = self._block_for(timestamp)
+        gas_used = (
+            self.gas_schedule.for_function(call.function)
+            if call is not None
+            else self.gas_schedule.plain_transfer
+        )
+        if gas_price_wei is None:
+            gas_price_wei = self.gas_price_oracle.price_wei(timestamp)
+        fee_wei = gas_used * gas_price_wei
+
+        sender_account = self.state.get_or_create(sender)
+        if sender_account.balance_wei < value_wei + fee_wei:
+            raise InsufficientBalanceError(
+                sender, value_wei + fee_wei, sender_account.balance_wei
+            )
+
+        # Gas is charged up front and is not refunded on revert.
+        self.state.transfer(sender, COINBASE_ADDRESS, fee_wei)
+        sender_account.nonce += 1
+
+        tx_hash = new_tx_hash(block.number, len(block.transactions), sender, to, value_wei)
+        context = TxContext(
+            chain=self,
+            origin=sender,
+            timestamp=timestamp,
+            block_number=block.number,
+            value_wei=value_wei,
+        )
+
+        status = 1
+        revert: Optional[ContractExecutionError] = None
+        target_contract = self.state.contract_at(to) if to else None
+        if target_contract is not None and call is not None:
+            if value_wei:
+                self.state.transfer(sender, to, value_wei)
+                context.record_external_transfer(ValueTransfer(sender, to, value_wei))
+            context.enter_contract(to)
+            try:
+                target_contract.handle(context, call)
+            except ContractExecutionError as error:
+                status = 0
+                revert = error
+        elif to is not None:
+            if value_wei:
+                self.state.transfer(sender, to, value_wei)
+                context.record_external_transfer(ValueTransfer(sender, to, value_wei))
+        else:
+            # A transaction with no recipient is a no-op placeholder here
+            # (real chains use it for contract creation, which this
+            # substrate performs through deploy_contract instead).
+            pass
+
+        receipt = Receipt(
+            transaction_hash=tx_hash,
+            status=status,
+            gas_used=gas_used,
+            logs=context.logs if status == 1 else (),
+            value_transfers=context.value_transfers if status == 1 else (),
+        )
+        tx = Transaction(
+            hash=tx_hash,
+            block_number=block.number,
+            timestamp=timestamp,
+            sender=sender,
+            to=to,
+            value_wei=value_wei,
+            gas_used=gas_used,
+            gas_price_wei=gas_price_wei,
+            call=call,
+            receipt=receipt,
+            nonce=sender_account.nonce,
+        )
+        block.transactions.append(tx)
+        self._tx_by_hash[tx_hash] = tx
+        self.account_index.record(tx)
+
+        if revert is not None:
+            raise revert
+        return tx
+
+    # -- lookups ----------------------------------------------------------------
+    def transaction(self, tx_hash: str) -> Optional[Transaction]:
+        """Return a transaction by hash, or None."""
+        return self._tx_by_hash.get(tx_hash)
+
+    def _block_for(self, timestamp: int) -> Block:
+        """Return the block accepting transactions at ``timestamp``."""
+        if self.blocks and self.blocks[-1].timestamp == timestamp:
+            return self.blocks[-1]
+        block = Block(number=self.head_block_number + 1, timestamp=timestamp)
+        self.blocks.append(block)
+        return block

@@ -1,0 +1,110 @@
+"""Transaction execution context.
+
+Contract objects never touch the world state directly: every effect --
+moving ETH, emitting a log, calling another contract -- goes through a
+:class:`TxContext`, which records the effects on the receipt being
+built.  This is what lets one marketplace sale transaction carry the
+ERC-721 Transfer log, the payout to the seller and the fee to the
+treasury, the exact composite shape the paper's pipeline has to
+untangle.
+
+Convention: contract methods must validate all preconditions (and call
+:meth:`TxContext.require`) *before* mutating state, so a revert never
+leaves partial effects behind.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, List, Optional
+
+from repro.chain.errors import ContractExecutionError
+from repro.chain.events import Log
+from repro.chain.types import Call, ValueTransfer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.chain.chain import Chain
+
+
+class TxContext:
+    """Execution context shared by every contract touched in one transaction."""
+
+    def __init__(
+        self,
+        chain: "Chain",
+        origin: str,
+        timestamp: int,
+        block_number: int,
+        value_wei: int = 0,
+    ) -> None:
+        self.chain = chain
+        #: The EOA that signed the transaction (``tx.origin``).
+        self.origin = origin
+        self.timestamp = timestamp
+        self.block_number = block_number
+        #: ETH attached to the top-level call.
+        self.value_wei = value_wei
+        #: The immediate caller of the contract currently executing
+        #: (``msg.sender``); updated on nested calls.
+        self.caller = origin
+        self._logs: List[Log] = []
+        self._value_transfers: List[ValueTransfer] = []
+        self._current_contract: Optional[str] = None
+
+    # -- effects -----------------------------------------------------------
+    def emit(self, log: Log) -> None:
+        """Record an event log on the receipt being built."""
+        self._logs.append(log)
+
+    def transfer(self, sender: str, recipient: str, amount_wei: int) -> None:
+        """Move ETH between accounts and record it as an internal transfer."""
+        if amount_wei == 0:
+            return
+        self.chain.state.transfer(sender, recipient, amount_wei)
+        self._value_transfers.append(ValueTransfer(sender, recipient, amount_wei))
+
+    def record_external_transfer(self, transfer: ValueTransfer) -> None:
+        """Record a value movement the chain itself already applied."""
+        self._value_transfers.append(transfer)
+
+    def call_contract(self, address: str, call: Call, value_wei: int = 0) -> Any:
+        """Invoke another contract from inside contract code."""
+        contract = self.chain.state.contract_at(address)
+        if contract is None:
+            raise ContractExecutionError(address, call.function, "not a contract")
+        if value_wei:
+            if self._current_contract is None:
+                raise ContractExecutionError(
+                    address, call.function, "no calling contract for value transfer"
+                )
+            self.transfer(self._current_contract, address, value_wei)
+        previous_caller = self.caller
+        previous_contract = self._current_contract
+        self.caller = previous_contract if previous_contract else self.origin
+        self._current_contract = address
+        try:
+            return contract.handle(self, call)
+        finally:
+            self.caller = previous_caller
+            self._current_contract = previous_contract
+
+    # -- helpers for contract code ------------------------------------------
+    def require(self, condition: bool, reason: str) -> None:
+        """Revert the transaction if ``condition`` does not hold."""
+        if not condition:
+            contract = self._current_contract or "<unknown>"
+            raise ContractExecutionError(contract, "<require>", reason)
+
+    def enter_contract(self, address: str) -> None:
+        """Mark the contract currently executing (used by the chain)."""
+        self._current_contract = address
+
+    # -- receipt assembly ----------------------------------------------------
+    @property
+    def logs(self) -> tuple[Log, ...]:
+        """Logs collected so far."""
+        return tuple(self._logs)
+
+    @property
+    def value_transfers(self) -> tuple[ValueTransfer, ...]:
+        """Value transfers collected so far."""
+        return tuple(self._value_transfers)

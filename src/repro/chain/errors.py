@@ -1,0 +1,52 @@
+"""Exceptions raised by the chain substrate."""
+
+from __future__ import annotations
+
+
+class ChainError(Exception):
+    """Base class for every error raised by :mod:`repro.chain`."""
+
+
+class UnknownAccountError(ChainError):
+    """An operation referenced an address the world state has never seen."""
+
+    def __init__(self, address: str) -> None:
+        super().__init__(f"unknown account: {address}")
+        self.address = address
+
+
+class InsufficientBalanceError(ChainError):
+    """An account tried to spend more wei than it holds."""
+
+    def __init__(self, address: str, needed_wei: int, available_wei: int) -> None:
+        super().__init__(
+            f"account {address} needs {needed_wei} wei but holds {available_wei}"
+        )
+        self.address = address
+        self.needed_wei = needed_wei
+        self.available_wei = available_wei
+
+
+class ContractExecutionError(ChainError):
+    """A contract call reverted.
+
+    The failed transaction is still recorded on-chain with ``status=0``
+    and its gas is still charged, mirroring mainnet behaviour.
+    """
+
+    def __init__(self, contract: str, function: str, reason: str) -> None:
+        super().__init__(f"{contract}.{function} reverted: {reason}")
+        self.contract = contract
+        self.function = function
+        self.reason = reason
+
+
+class InvalidTimestampError(ChainError):
+    """A transaction was submitted with a timestamp earlier than the chain head."""
+
+    def __init__(self, timestamp: int, head_timestamp: int) -> None:
+        super().__init__(
+            f"transaction timestamp {timestamp} precedes chain head {head_timestamp}"
+        )
+        self.timestamp = timestamp
+        self.head_timestamp = head_timestamp

@@ -1,0 +1,85 @@
+"""Event logs.
+
+Ethereum contracts signal state changes by emitting logs.  A log carries
+the address of the emitting contract, up to four *topics* (the first is
+the keccak of the event declaration, the rest are the indexed arguments)
+and a data blob with the non-indexed arguments.
+
+The paper's data collection hinges on the exact topic layout: an ERC-721
+``Transfer`` event has **four** topics (signature, from, to, token id)
+while an ERC-20 ``Transfer`` has three (the amount is not indexed) and
+ERC-1155 uses a different signature altogether.  The reproduction keeps
+that layout byte-for-byte at the signature level so the ingest code can
+apply the same discrimination rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Sequence
+
+from repro.utils.hashing import (
+    ERC1155_TRANSFER_SINGLE_SIGNATURE,
+    ERC721_TRANSFER_SIGNATURE,
+)
+
+
+@dataclass(frozen=True)
+class Log:
+    """One event log entry, as a receipt would expose it."""
+
+    address: str
+    topics: tuple[str, ...]
+    data: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def signature(self) -> str:
+        """Topic 0: the event signature hash ('' if the log has no topics)."""
+        return self.topics[0] if self.topics else ""
+
+    @property
+    def is_erc721_transfer(self) -> bool:
+        """True for Transfer events with the ERC-721 topic layout.
+
+        This is the paper's rule: the ``ddf252ad…`` signature *and* four
+        topics (token id indexed).
+        """
+        return self.signature == ERC721_TRANSFER_SIGNATURE and len(self.topics) == 4
+
+    @property
+    def is_erc20_transfer(self) -> bool:
+        """True for Transfer events with the ERC-20 topic layout (3 topics)."""
+        return self.signature == ERC721_TRANSFER_SIGNATURE and len(self.topics) == 3
+
+    @property
+    def is_erc1155_transfer(self) -> bool:
+        """True for ERC-1155 TransferSingle events."""
+        return self.signature == ERC1155_TRANSFER_SINGLE_SIGNATURE
+
+
+def erc721_transfer_log(contract: str, sender: str, recipient: str, token_id: int) -> Log:
+    """Build an ERC-721 ``Transfer`` log (4 topics)."""
+    return Log(
+        address=contract,
+        topics=(ERC721_TRANSFER_SIGNATURE, sender, recipient, hex(token_id)),
+    )
+
+
+def erc20_transfer_log(contract: str, sender: str, recipient: str, amount: int) -> Log:
+    """Build an ERC-20 ``Transfer`` log (3 topics, amount in data)."""
+    return Log(
+        address=contract,
+        topics=(ERC721_TRANSFER_SIGNATURE, sender, recipient),
+        data={"value": amount},
+    )
+
+
+def erc1155_transfer_log(
+    contract: str, operator: str, sender: str, recipient: str, token_id: int, amount: int
+) -> Log:
+    """Build an ERC-1155 ``TransferSingle`` log."""
+    return Log(
+        address=contract,
+        topics=(ERC1155_TRANSFER_SINGLE_SIGNATURE, operator, sender, recipient),
+        data={"id": token_id, "value": amount},
+    )

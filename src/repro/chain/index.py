@@ -1,0 +1,57 @@
+"""Per-account transaction index.
+
+The paper's data collection queries the node "a second time to retrieve
+all the transactions (sent and received) for accounts that appear as the
+source or the recipient of a Transfer event".  A real archive node needs
+an external index for that; here the chain maintains one incrementally.
+An account is considered involved in a transaction if it is the sender,
+the top-level recipient, a party of any internal ETH transfer, or a
+party of any ERC-20 transfer log.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Set
+
+from repro.chain.transaction import Transaction
+
+
+class AccountIndex:
+    """Maps account addresses to the transactions that involve them."""
+
+    def __init__(self) -> None:
+        self._by_account: Dict[str, List[Transaction]] = defaultdict(list)
+        self._seen: Dict[str, Set[str]] = defaultdict(set)
+
+    def record(self, tx: Transaction) -> None:
+        """Index one freshly executed transaction."""
+        for address in self._parties_of(tx):
+            if tx.hash not in self._seen[address]:
+                self._seen[address].add(tx.hash)
+                self._by_account[address].append(tx)
+
+    @staticmethod
+    def _parties_of(tx: Transaction) -> Set[str]:
+        parties: Set[str] = {tx.sender}
+        if tx.to:
+            parties.add(tx.to)
+        for transfer in tx.value_transfers:
+            parties.add(transfer.sender)
+            parties.add(transfer.recipient)
+        for log in tx.logs:
+            if log.is_erc20_transfer or log.is_erc721_transfer:
+                parties.add(log.topics[1])
+                parties.add(log.topics[2])
+        return parties
+
+    def transactions_of(self, address: str) -> List[Transaction]:
+        """All transactions involving ``address``, in chain order."""
+        return list(self._by_account.get(address, ()))
+
+    def accounts(self) -> Iterable[str]:
+        """Every indexed address."""
+        return self._by_account.keys()
+
+    def __contains__(self, address: str) -> bool:
+        return address in self._by_account

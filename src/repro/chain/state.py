@@ -1,0 +1,100 @@
+"""World state: the account map and value movements."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional
+
+from repro.chain.account import Account
+from repro.chain.errors import InsufficientBalanceError, UnknownAccountError
+from repro.chain.types import NULL_ADDRESS
+
+
+class WorldState:
+    """The mutable account state of the ledger.
+
+    Accounts are created lazily with a zero balance the first time they
+    are touched, matching how the real state trie behaves from an
+    observer's point of view.
+    """
+
+    def __init__(self) -> None:
+        self._accounts: Dict[str, Account] = {}
+        # The null address always exists: it is the source of mints and
+        # the sink of burns.
+        self._accounts[NULL_ADDRESS] = Account(address=NULL_ADDRESS)
+
+    # -- account access ---------------------------------------------------
+    def get_or_create(self, address: str) -> Account:
+        """Return the account at ``address``, creating an empty EOA if new."""
+        account = self._accounts.get(address)
+        if account is None:
+            account = Account(address=address)
+            self._accounts[address] = account
+        return account
+
+    def get(self, address: str) -> Account:
+        """Return an existing account or raise :class:`UnknownAccountError`."""
+        account = self._accounts.get(address)
+        if account is None:
+            raise UnknownAccountError(address)
+        return account
+
+    def exists(self, address: str) -> bool:
+        """True if the address has been touched before."""
+        return address in self._accounts
+
+    def addresses(self) -> Iterable[str]:
+        """All known addresses."""
+        return self._accounts.keys()
+
+    def accounts(self) -> Iterable[Account]:
+        """All known accounts."""
+        return self._accounts.values()
+
+    def __len__(self) -> int:
+        return len(self._accounts)
+
+    # -- balances ----------------------------------------------------------
+    def balance_of(self, address: str) -> int:
+        """Balance in wei (0 for never-seen addresses)."""
+        account = self._accounts.get(address)
+        return account.balance_wei if account else 0
+
+    def mint_ether(self, address: str, amount_wei: int) -> None:
+        """Create ETH out of thin air (genesis allocations, mining rewards)."""
+        self.get_or_create(address).credit(amount_wei)
+
+    def transfer(self, sender: str, recipient: str, amount_wei: int) -> None:
+        """Move wei between two accounts, enforcing the sender's balance."""
+        if amount_wei < 0:
+            raise ValueError(f"cannot transfer a negative amount: {amount_wei}")
+        source = self.get_or_create(sender)
+        if source.balance_wei < amount_wei:
+            raise InsufficientBalanceError(sender, amount_wei, source.balance_wei)
+        destination = self.get_or_create(recipient)
+        source.debit(amount_wei)
+        destination.credit(amount_wei)
+
+    # -- code / contracts ---------------------------------------------------
+    def deploy(self, address: str, contract: object, code_marker: Optional[bytes] = None) -> Account:
+        """Register a contract object at an address and mark it with bytecode."""
+        account = self.get_or_create(address)
+        account.contract = contract
+        account.code = code_marker if code_marker is not None else b"\x60\x80" + address.encode()
+        return account
+
+    def code_at(self, address: str) -> bytes:
+        """Return the bytecode at an address (empty bytes for EOAs)."""
+        account = self._accounts.get(address)
+        if account is None or account.code is None:
+            return b""
+        return account.code
+
+    def is_contract(self, address: str) -> bool:
+        """True if the address holds bytecode."""
+        return bool(self.code_at(address))
+
+    def contract_at(self, address: str) -> Optional[object]:
+        """Return the Python contract object at an address, if any."""
+        account = self._accounts.get(address)
+        return account.contract if account else None

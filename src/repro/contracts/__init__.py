@@ -1,0 +1,29 @@
+"""Token contracts.
+
+The paper's data collection distinguishes ERC-721 NFTs from ERC-20 and
+ERC-1155 tokens by (a) the topic layout of their Transfer events and
+(b) the ERC-165 ``supportsInterface(0x80ac58cd)`` compliance check.
+This package provides Python implementations of all three standards,
+plus a deliberately non-compliant contract used to exercise the
+compliance filter.
+"""
+
+from repro.contracts.base import Contract, ERC165_INTERFACE_ID, ERC721_INTERFACE_ID, ERC1155_INTERFACE_ID
+from repro.contracts.erc20 import ERC20Token
+from repro.contracts.erc721 import ERC721Collection
+from repro.contracts.erc1155 import ERC1155Collection
+from repro.contracts.noncompliant import NonCompliantNFTContract
+from repro.contracts.registry import ContractRegistry, ContractInfo
+
+__all__ = [
+    "Contract",
+    "ERC165_INTERFACE_ID",
+    "ERC721_INTERFACE_ID",
+    "ERC1155_INTERFACE_ID",
+    "ERC20Token",
+    "ERC721Collection",
+    "ERC1155Collection",
+    "NonCompliantNFTContract",
+    "ContractRegistry",
+    "ContractInfo",
+]

@@ -1,0 +1,82 @@
+"""Contract base class and ERC-165 introspection."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Optional, Set, TYPE_CHECKING
+
+from repro.chain.errors import ContractExecutionError
+from repro.chain.types import Call
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from repro.chain.chain import Chain
+    from repro.chain.context import TxContext
+
+#: ERC-165 interface identifier of ERC-165 itself.
+ERC165_INTERFACE_ID = "0x01ffc9a7"
+#: ERC-165 interface identifier of ERC-721 (the paper's compliance probe).
+ERC721_INTERFACE_ID = "0x80ac58cd"
+#: ERC-165 interface identifier of ERC-1155.
+ERC1155_INTERFACE_ID = "0xd9b67a26"
+
+
+class Contract:
+    """Base class for every simulated smart contract.
+
+    Sub-classes declare the transaction-callable functions in
+    ``EXPOSED_FUNCTIONS`` and the read-only ones in ``VIEW_FUNCTIONS``;
+    dispatch maps the function name in a :class:`~repro.chain.types.Call`
+    to a method of the same name.  ERC-165 support is expressed through
+    ``SUPPORTED_INTERFACES``.
+    """
+
+    #: Function names callable through a transaction.
+    EXPOSED_FUNCTIONS: Set[str] = set()
+    #: Function names callable through a read-only ``eth_call``.
+    VIEW_FUNCTIONS: Set[str] = {"supportsInterface"}
+    #: ERC-165 interface ids this contract reports as supported.
+    SUPPORTED_INTERFACES: Set[str] = {ERC165_INTERFACE_ID}
+
+    def __init__(self) -> None:
+        self.address: Optional[str] = None
+        self.chain: Optional["Chain"] = None
+
+    # -- lifecycle -----------------------------------------------------------
+    def bind(self, address: str, chain: "Chain") -> None:
+        """Attach the contract to its on-chain address (called on deploy)."""
+        self.address = address
+        self.chain = chain
+
+    @property
+    def bound_address(self) -> str:
+        """The contract's address; raises if the contract is not deployed."""
+        if self.address is None:
+            raise RuntimeError(f"{type(self).__name__} is not deployed")
+        return self.address
+
+    # -- dispatch ---------------------------------------------------------------
+    def handle(self, ctx: "TxContext", call: Call) -> Any:
+        """Execute a transaction-callable function."""
+        if call.function not in self.EXPOSED_FUNCTIONS:
+            raise ContractExecutionError(
+                self.bound_address, call.function, "unknown function"
+            )
+        method = getattr(self, call.function, None)
+        if method is None:
+            raise ContractExecutionError(
+                self.bound_address, call.function, "unimplemented function"
+            )
+        return method(ctx, **dict(call.args))
+
+    def view(self, function: str, args: Mapping[str, Any]) -> Any:
+        """Execute a read-only function (an ``eth_call``)."""
+        if function not in self.VIEW_FUNCTIONS:
+            raise ValueError(f"{type(self).__name__} has no view '{function}'")
+        method = getattr(self, function, None)
+        if method is None:
+            raise ValueError(f"{type(self).__name__} does not implement '{function}'")
+        return method(**dict(args))
+
+    # -- ERC-165 -----------------------------------------------------------------
+    def supportsInterface(self, interface_id: str) -> bool:
+        """ERC-165 introspection entry point."""
+        return interface_id in self.SUPPORTED_INTERFACES

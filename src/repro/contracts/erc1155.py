@@ -1,0 +1,70 @@
+"""ERC-1155 multi-token collections.
+
+These exist in the reproduction purely as *distractors*: their transfer
+events use a different signature than ERC-721, so the paper's scan (and
+ours) must not pick them up.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Dict, Tuple
+
+from repro.chain.events import erc1155_transfer_log
+from repro.chain.types import NULL_ADDRESS
+from repro.contracts.base import (
+    Contract,
+    ERC165_INTERFACE_ID,
+    ERC1155_INTERFACE_ID,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.chain.context import TxContext
+
+
+class ERC1155Collection(Contract):
+    """A minimal ERC-1155 implementation emitting TransferSingle events."""
+
+    EXPOSED_FUNCTIONS = {"mint", "safeTransferFrom"}
+    VIEW_FUNCTIONS = {"supportsInterface", "balanceOf", "name"}
+    SUPPORTED_INTERFACES = {ERC165_INTERFACE_ID, ERC1155_INTERFACE_ID}
+
+    def __init__(self, name: str) -> None:
+        super().__init__()
+        self.collection_name = name
+        self._balances: Dict[Tuple[str, int], int] = defaultdict(int)
+
+    def name(self) -> str:
+        """Collection name."""
+        return self.collection_name
+
+    def balanceOf(self, owner: str, token_id: int) -> int:
+        """Balance of one token id for one owner."""
+        return self._balances[(owner, token_id)]
+
+    def mint(self, ctx: "TxContext", to: str, token_id: int, amount: int) -> None:
+        """Mint ``amount`` units of ``token_id`` to ``to``."""
+        ctx.require(amount > 0, "mint amount must be positive")
+        self._balances[(to, token_id)] += amount
+        ctx.emit(
+            erc1155_transfer_log(
+                self.bound_address, ctx.caller, NULL_ADDRESS, to, token_id, amount
+            )
+        )
+
+    def safeTransferFrom(
+        self, ctx: "TxContext", sender: str, to: str, token_id: int, amount: int
+    ) -> None:
+        """Move units of a token id between accounts."""
+        ctx.require(
+            self._balances[(sender, token_id)] >= amount,
+            f"{sender} holds fewer than {amount} of token {token_id}",
+        )
+        ctx.require(ctx.caller == sender, "only the owner may transfer in this model")
+        self._balances[(sender, token_id)] -= amount
+        self._balances[(to, token_id)] += amount
+        ctx.emit(
+            erc1155_transfer_log(
+                self.bound_address, ctx.caller, sender, to, token_id, amount
+            )
+        )

@@ -1,0 +1,102 @@
+"""ERC-20 fungible tokens.
+
+Used for the marketplace reward tokens (LOOKS, RARI), wrapped ether and
+stablecoins.  Their Transfer events carry three topics, which is exactly
+what keeps them out of the paper's ERC-721 transfer scan.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Dict
+
+from repro.chain.events import erc20_transfer_log
+from repro.chain.types import NULL_ADDRESS
+from repro.contracts.base import Contract, ERC165_INTERFACE_ID
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.chain.context import TxContext
+
+
+class ERC20Token(Contract):
+    """A minimal but faithful ERC-20 token."""
+
+    EXPOSED_FUNCTIONS = {"transfer", "mint", "burn"}
+    VIEW_FUNCTIONS = {"supportsInterface", "balanceOf", "totalSupply", "name", "symbol"}
+    # Real ERC-20 contracts generally do not implement ERC-165; keeping the
+    # base ERC-165 id here only says "this contract answers the probe",
+    # not that it is an NFT.
+    SUPPORTED_INTERFACES = {ERC165_INTERFACE_ID}
+
+    def __init__(self, name: str, symbol: str, decimals: int = 18) -> None:
+        super().__init__()
+        self.token_name = name
+        self.token_symbol = symbol
+        self.decimals = decimals
+        self._balances: Dict[str, int] = defaultdict(int)
+        self._total_supply = 0
+
+    # -- views ------------------------------------------------------------
+    def balanceOf(self, owner: str) -> int:
+        """Token balance of an address (smallest units)."""
+        return self._balances[owner]
+
+    def totalSupply(self) -> int:
+        """Total minted supply."""
+        return self._total_supply
+
+    def name(self) -> str:
+        """Token name."""
+        return self.token_name
+
+    def symbol(self) -> str:
+        """Token ticker symbol."""
+        return self.token_symbol
+
+    # -- mutations -----------------------------------------------------------
+    def mint(self, ctx: "TxContext", to: str, amount: int) -> None:
+        """Create new tokens for ``to`` (no access control in the simulation)."""
+        ctx.require(amount >= 0, "mint amount must be non-negative")
+        self._balances[to] += amount
+        self._total_supply += amount
+        ctx.emit(erc20_transfer_log(self.bound_address, NULL_ADDRESS, to, amount))
+
+    def transfer(self, ctx: "TxContext", to: str, amount: int) -> None:
+        """Move tokens from the caller to ``to``."""
+        sender = ctx.caller
+        ctx.require(amount >= 0, "transfer amount must be non-negative")
+        ctx.require(
+            self._balances[sender] >= amount,
+            f"ERC20 balance of {sender} is below {amount}",
+        )
+        self._balances[sender] -= amount
+        self._balances[to] += amount
+        ctx.emit(erc20_transfer_log(self.bound_address, sender, to, amount))
+
+    def burn(self, ctx: "TxContext", amount: int) -> None:
+        """Destroy tokens held by the caller."""
+        sender = ctx.caller
+        ctx.require(
+            self._balances[sender] >= amount,
+            f"ERC20 balance of {sender} is below {amount}",
+        )
+        self._balances[sender] -= amount
+        self._total_supply -= amount
+        ctx.emit(erc20_transfer_log(self.bound_address, sender, NULL_ADDRESS, amount))
+
+    # -- helpers used by other contracts -----------------------------------------
+    def transfer_internal(self, ctx: "TxContext", sender: str, to: str, amount: int) -> None:
+        """Move tokens on behalf of another contract (e.g. a DEX or distributor)."""
+        ctx.require(
+            self._balances[sender] >= amount,
+            f"ERC20 balance of {sender} is below {amount}",
+        )
+        self._balances[sender] -= amount
+        self._balances[to] += amount
+        ctx.emit(erc20_transfer_log(self.bound_address, sender, to, amount))
+
+    def mint_internal(self, ctx: "TxContext", to: str, amount: int) -> None:
+        """Mint tokens on behalf of another contract (reward distributors)."""
+        self._balances[to] += amount
+        self._total_supply += amount
+        ctx.emit(erc20_transfer_log(self.bound_address, NULL_ADDRESS, to, amount))

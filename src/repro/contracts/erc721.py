@@ -1,0 +1,134 @@
+"""ERC-721 NFT collections.
+
+Each deployed :class:`ERC721Collection` manages one collection: the set
+of NFTs minted by the same contract, identified inside it by a token id.
+Transfers emit the four-topic ``Transfer`` event the paper's scan keys
+on, and ``supportsInterface(0x80ac58cd)`` answers the compliance probe.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import TYPE_CHECKING, Dict, Iterable, Optional, Set
+
+from repro.chain.events import erc721_transfer_log
+from repro.chain.types import NFTKey, NULL_ADDRESS
+from repro.contracts.base import (
+    Contract,
+    ERC165_INTERFACE_ID,
+    ERC721_INTERFACE_ID,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.chain.context import TxContext
+
+
+class ERC721Collection(Contract):
+    """A standard-compliant NFT collection."""
+
+    EXPOSED_FUNCTIONS = {"mint", "transferFrom", "safeTransferFrom", "burn", "setApprovalForAll"}
+    VIEW_FUNCTIONS = {
+        "supportsInterface",
+        "ownerOf",
+        "balanceOf",
+        "name",
+        "symbol",
+        "totalSupply",
+    }
+    SUPPORTED_INTERFACES = {ERC165_INTERFACE_ID, ERC721_INTERFACE_ID}
+
+    def __init__(self, name: str, symbol: str, creation_timestamp: int = 0) -> None:
+        super().__init__()
+        self.collection_name = name
+        self.collection_symbol = symbol
+        #: Timestamp at which the collection was deployed; used by the
+        #: temporal analysis (Fig. 5: wash trading clusters near creation).
+        self.creation_timestamp = creation_timestamp
+        self._owners: Dict[int, str] = {}
+        self._balances: Dict[str, int] = defaultdict(int)
+        self._operators: Dict[str, Set[str]] = defaultdict(set)
+        self._next_token_id = 1
+        self._minted = 0
+
+    # -- views ---------------------------------------------------------------
+    def ownerOf(self, token_id: int) -> Optional[str]:
+        """Current owner of a token id (None if not minted or burned)."""
+        return self._owners.get(token_id)
+
+    def balanceOf(self, owner: str) -> int:
+        """Number of NFTs of this collection held by ``owner``."""
+        return self._balances[owner]
+
+    def name(self) -> str:
+        """Collection name."""
+        return self.collection_name
+
+    def symbol(self) -> str:
+        """Collection ticker symbol."""
+        return self.collection_symbol
+
+    def totalSupply(self) -> int:
+        """Number of NFTs minted so far (including burned ones)."""
+        return self._minted
+
+    def token_ids(self) -> Iterable[int]:
+        """Token ids currently in existence."""
+        return self._owners.keys()
+
+    def key_of(self, token_id: int) -> NFTKey:
+        """The (contract, token id) pair identifying one NFT globally."""
+        return NFTKey(contract=self.bound_address, token_id=token_id)
+
+    def is_approved(self, owner: str, operator: str) -> bool:
+        """True if ``operator`` may move the NFTs of ``owner``."""
+        return operator in self._operators[owner]
+
+    # -- mutations -----------------------------------------------------------------
+    def mint(self, ctx: "TxContext", to: str, token_id: Optional[int] = None) -> int:
+        """Mint a new NFT to ``to`` and return its token id.
+
+        The Transfer event is emitted from the null address, which is why
+        the paper strips the null address from transaction graphs.
+        """
+        if token_id is None:
+            token_id = self._next_token_id
+        ctx.require(token_id not in self._owners, f"token {token_id} already minted")
+        self._next_token_id = max(self._next_token_id, token_id + 1)
+        self._owners[token_id] = to
+        self._balances[to] += 1
+        self._minted += 1
+        ctx.emit(erc721_transfer_log(self.bound_address, NULL_ADDRESS, to, token_id))
+        return token_id
+
+    def setApprovalForAll(self, ctx: "TxContext", operator: str, approved: bool) -> None:
+        """Grant or revoke an operator's right to move the caller's NFTs."""
+        owner = ctx.caller
+        if approved:
+            self._operators[owner].add(operator)
+        else:
+            self._operators[owner].discard(operator)
+
+    def transferFrom(self, ctx: "TxContext", sender: str, to: str, token_id: int) -> None:
+        """Move one NFT; the caller must be the owner or an approved operator."""
+        owner = self._owners.get(token_id)
+        ctx.require(owner is not None, f"token {token_id} does not exist")
+        ctx.require(owner == sender, f"{sender} does not own token {token_id}")
+        authorised = ctx.caller == owner or ctx.caller in self._operators[owner]
+        ctx.require(authorised, f"{ctx.caller} is not authorised to move token {token_id}")
+        self._owners[token_id] = to
+        self._balances[sender] -= 1
+        self._balances[to] += 1
+        ctx.emit(erc721_transfer_log(self.bound_address, sender, to, token_id))
+
+    def safeTransferFrom(self, ctx: "TxContext", sender: str, to: str, token_id: int) -> None:
+        """Alias of :meth:`transferFrom` (receiver hooks are not modelled)."""
+        self.transferFrom(ctx, sender=sender, to=to, token_id=token_id)
+
+    def burn(self, ctx: "TxContext", token_id: int) -> None:
+        """Destroy an NFT owned by the caller."""
+        owner = self._owners.get(token_id)
+        ctx.require(owner is not None, f"token {token_id} does not exist")
+        ctx.require(owner == ctx.caller, f"{ctx.caller} does not own token {token_id}")
+        del self._owners[token_id]
+        self._balances[owner] -= 1
+        ctx.emit(erc721_transfer_log(self.bound_address, owner, NULL_ADDRESS, token_id))

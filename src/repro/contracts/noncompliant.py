@@ -1,0 +1,66 @@
+"""A deliberately non-compliant NFT-like contract.
+
+The paper finds that 3.2% of the contracts emitting ERC-721-shaped
+Transfer events do **not** pass the ERC-165 compliance check.  This
+contract reproduces that situation: it emits four-topic Transfer events
+but answers ``supportsInterface(0x80ac58cd)`` with ``False`` (or, if
+``broken_erc165`` is set, refuses the probe entirely), so the ingest
+compliance filter must drop it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.chain.events import erc721_transfer_log
+from repro.chain.types import NULL_ADDRESS
+from repro.contracts.base import Contract, ERC165_INTERFACE_ID
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.chain.context import TxContext
+
+
+class NonCompliantNFTContract(Contract):
+    """Emits ERC-721-shaped Transfer events without being ERC-721 compliant."""
+
+    EXPOSED_FUNCTIONS = {"mint", "transferFrom"}
+    VIEW_FUNCTIONS = {"supportsInterface", "name"}
+    SUPPORTED_INTERFACES = {ERC165_INTERFACE_ID}
+
+    def __init__(self, name: str, broken_erc165: bool = False) -> None:
+        super().__init__()
+        self.collection_name = name
+        #: If True the contract does not even answer the ERC-165 probe,
+        #: modelling contracts where the check itself reverts.
+        self.broken_erc165 = broken_erc165
+        self._owners: Dict[int, str] = {}
+        self._next_token_id = 1
+
+    def name(self) -> str:
+        """Pseudo-collection name."""
+        return self.collection_name
+
+    def supportsInterface(self, interface_id: str) -> bool:
+        """Never claims ERC-721 support; may refuse the probe entirely."""
+        if self.broken_erc165:
+            raise ValueError("supportsInterface is not implemented")
+        return interface_id in self.SUPPORTED_INTERFACES
+
+    def ownerOf(self, token_id: int) -> Optional[str]:
+        """Owner lookup (not exposed as a view, like many ad-hoc contracts)."""
+        return self._owners.get(token_id)
+
+    def mint(self, ctx: "TxContext", to: str, token_id: Optional[int] = None) -> int:
+        """Mint a pseudo-NFT, emitting an ERC-721-shaped event."""
+        if token_id is None:
+            token_id = self._next_token_id
+        self._next_token_id = max(self._next_token_id, token_id + 1)
+        self._owners[token_id] = to
+        ctx.emit(erc721_transfer_log(self.bound_address, NULL_ADDRESS, to, token_id))
+        return token_id
+
+    def transferFrom(self, ctx: "TxContext", sender: str, to: str, token_id: int) -> None:
+        """Move a pseudo-NFT, emitting an ERC-721-shaped event."""
+        ctx.require(self._owners.get(token_id) == sender, "not the owner")
+        self._owners[token_id] = to
+        ctx.emit(erc721_transfer_log(self.bound_address, sender, to, token_id))

@@ -1,0 +1,81 @@
+"""A registry of deployed contracts and their metadata.
+
+The analysis layer needs to resolve a contract address to a
+human-readable collection name (e.g. for the "collections most affected
+by wash trading" result and Fig. 5) and to know which addresses are
+marketplaces, reward tokens or DeFi services.  A real study gets this
+from Etherscan and marketplace APIs; the simulation fills the registry
+as it deploys contracts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class ContractInfo:
+    """Metadata about one deployed contract."""
+
+    address: str
+    kind: str
+    name: str
+    creation_timestamp: int = 0
+
+    #: Recognised values of ``kind``.
+    KINDS = (
+        "erc721",
+        "erc20",
+        "erc1155",
+        "noncompliant-nft",
+        "marketplace",
+        "reward-distributor",
+        "dex",
+        "defi",
+        "lending",
+        "other",
+    )
+
+
+class ContractRegistry:
+    """Address-to-metadata map for every deployed contract."""
+
+    def __init__(self) -> None:
+        self._by_address: Dict[str, ContractInfo] = {}
+
+    def register(
+        self,
+        address: str,
+        kind: str,
+        name: str,
+        creation_timestamp: int = 0,
+    ) -> ContractInfo:
+        """Add (or overwrite) the metadata of a deployed contract."""
+        info = ContractInfo(
+            address=address, kind=kind, name=name, creation_timestamp=creation_timestamp
+        )
+        self._by_address[address] = info
+        return info
+
+    def get(self, address: str) -> Optional[ContractInfo]:
+        """Metadata of a contract address, or None."""
+        return self._by_address.get(address)
+
+    def name_of(self, address: str, default: str = "") -> str:
+        """Readable name of a contract address."""
+        info = self._by_address.get(address)
+        return info.name if info else (default or address)
+
+    def of_kind(self, kind: str) -> Iterable[ContractInfo]:
+        """All registered contracts of one kind."""
+        return [info for info in self._by_address.values() if info.kind == kind]
+
+    def __iter__(self) -> Iterator[ContractInfo]:
+        return iter(self._by_address.values())
+
+    def __len__(self) -> int:
+        return len(self._by_address)
+
+    def __contains__(self, address: str) -> bool:
+        return address in self._by_address

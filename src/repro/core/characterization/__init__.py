@@ -1,0 +1,42 @@
+"""Characterization of confirmed wash trading activities (Sec. V)."""
+
+from repro.core.characterization.volume import (
+    MarketplaceWashStats,
+    CollectionWashStats,
+    marketplace_wash_stats,
+    collection_wash_stats,
+)
+from repro.core.characterization.temporal import (
+    lifetimes_seconds,
+    fraction_with_lifetime_within,
+    purchase_to_start_delays,
+    creation_proximity,
+    top_collections_timeline,
+)
+from repro.core.characterization.patterns import (
+    PATTERN_LIBRARY,
+    PatternSpec,
+    account_count_distribution,
+    classify_component,
+    classify_activities,
+)
+from repro.core.characterization.serial import SerialTraderStats, serial_trader_stats
+
+__all__ = [
+    "MarketplaceWashStats",
+    "CollectionWashStats",
+    "marketplace_wash_stats",
+    "collection_wash_stats",
+    "lifetimes_seconds",
+    "fraction_with_lifetime_within",
+    "purchase_to_start_delays",
+    "creation_proximity",
+    "top_collections_timeline",
+    "PATTERN_LIBRARY",
+    "PatternSpec",
+    "account_count_distribution",
+    "classify_component",
+    "classify_activities",
+    "SerialTraderStats",
+    "serial_trader_stats",
+]

@@ -1,0 +1,133 @@
+"""Wash trading volume by marketplace and by collection (Table II and the
+per-collection findings of Sec. V-A)."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set
+
+from repro.chain.types import NFTKey
+from repro.contracts.registry import ContractRegistry
+from repro.core.detectors.pipeline import PipelineResult
+from repro.ingest.dataset import NFTDataset
+
+
+@dataclass
+class MarketplaceWashStats:
+    """One row of Table II: wash trading on one venue."""
+
+    marketplace: str
+    washed_nft_count: int
+    wash_volume_wei: int
+    total_volume_wei: int
+
+    @property
+    def wash_share(self) -> float:
+        """Fraction of the venue's total volume that is artificial."""
+        if self.total_volume_wei <= 0:
+            return 0.0
+        return self.wash_volume_wei / self.total_volume_wei
+
+
+@dataclass
+class CollectionWashStats:
+    """Wash trading pressure on one collection."""
+
+    contract: str
+    name: str
+    washed_nft_count: int
+    wash_volume_wei: int
+    total_volume_wei: int
+    activity_count: int
+
+    @property
+    def wash_share(self) -> float:
+        """Fraction of the collection's volume that is artificial."""
+        if self.total_volume_wei <= 0:
+            return 0.0
+        return self.wash_volume_wei / self.total_volume_wei
+
+
+def marketplace_wash_stats(
+    result: PipelineResult, dataset: NFTDataset
+) -> Dict[str, MarketplaceWashStats]:
+    """Per-venue washed-NFT counts, wash volume and share of total volume."""
+    venue_activity = dataset.marketplace_activity()
+    washed_nfts: Dict[str, Set[NFTKey]] = defaultdict(set)
+    wash_volume: Dict[str, int] = defaultdict(int)
+
+    for activity in result.activities:
+        for transfer in activity.component.transfers:
+            if transfer.marketplace is None:
+                continue
+            washed_nfts[transfer.marketplace].add(activity.nft)
+            wash_volume[transfer.marketplace] += transfer.price_wei
+
+    stats: Dict[str, MarketplaceWashStats] = {}
+    for name, venue in venue_activity.items():
+        stats[name] = MarketplaceWashStats(
+            marketplace=name,
+            washed_nft_count=len(washed_nfts.get(name, ())),
+            wash_volume_wei=wash_volume.get(name, 0),
+            total_volume_wei=venue.volume_wei,
+        )
+    return stats
+
+
+def collection_wash_stats(
+    result: PipelineResult,
+    dataset: NFTDataset,
+    registry: Optional[ContractRegistry] = None,
+    top_n: Optional[int] = None,
+) -> List[CollectionWashStats]:
+    """Per-collection wash volume, sorted by wash volume (largest first)."""
+    wash_volume: Dict[str, int] = defaultdict(int)
+    washed_nfts: Dict[str, Set[NFTKey]] = defaultdict(set)
+    activity_count: Dict[str, int] = defaultdict(int)
+
+    for activity in result.activities:
+        contract = activity.nft.contract
+        wash_volume[contract] += activity.volume_wei
+        washed_nfts[contract].add(activity.nft)
+        activity_count[contract] += 1
+
+    stats = [
+        CollectionWashStats(
+            contract=contract,
+            name=registry.name_of(contract, default=contract) if registry else contract,
+            washed_nft_count=len(washed_nfts[contract]),
+            wash_volume_wei=volume,
+            total_volume_wei=dataset.volume_of_collection_wei(contract),
+            activity_count=activity_count[contract],
+        )
+        for contract, volume in wash_volume.items()
+    ]
+    stats.sort(key=lambda row: row.wash_volume_wei, reverse=True)
+    if top_n is not None:
+        stats = stats[:top_n]
+    return stats
+
+
+def total_wash_volume_wei(result: PipelineResult) -> int:
+    """Total artificial volume across every confirmed activity."""
+    return result.total_wash_volume_wei
+
+
+def legitimate_activity_volumes_wei(
+    result: PipelineResult, dataset: NFTDataset
+) -> List[int]:
+    """Per-NFT traded volume of NFTs *not* involved in wash trading.
+
+    This is the comparison series of Fig. 3 (the "volume without wash
+    trading" CDF): the volume distribution of ordinary NFT trading.
+    """
+    washed = result.washed_nfts()
+    volumes: List[int] = []
+    for nft, transfers in dataset.transfers_by_nft.items():
+        if nft in washed:
+            continue
+        volume = sum(transfer.price_wei for transfer in transfers)
+        if volume > 0:
+            volumes.append(volume)
+    return volumes

@@ -1,0 +1,22 @@
+"""The five wash trading confirmation techniques and the combined pipeline."""
+
+from repro.core.detectors.base import DetectionConfig, DetectionContext, Detector
+from repro.core.detectors.zero_risk import ZeroRiskDetector
+from repro.core.detectors.common_funder import CommonFunderDetector
+from repro.core.detectors.common_exit import CommonExitDetector
+from repro.core.detectors.self_trade import SelfTradeDetector
+from repro.core.detectors.repeated_scc import confirm_repeated_components
+from repro.core.detectors.pipeline import WashTradingPipeline, PipelineResult
+
+__all__ = [
+    "DetectionConfig",
+    "DetectionContext",
+    "Detector",
+    "ZeroRiskDetector",
+    "CommonFunderDetector",
+    "CommonExitDetector",
+    "SelfTradeDetector",
+    "confirm_repeated_components",
+    "WashTradingPipeline",
+    "PipelineResult",
+]

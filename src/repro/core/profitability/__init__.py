@@ -1,0 +1,31 @@
+"""Profitability analysis of wash trading (Sec. VI) and case studies (Sec. VII)."""
+
+from repro.core.profitability.context import MarketContext
+from repro.core.profitability.rewards import (
+    RewardOutcome,
+    RewardProfitability,
+    analyze_reward_profitability,
+)
+from repro.core.profitability.resale import (
+    ResaleOutcome,
+    ResaleProfitability,
+    analyze_resale_profitability,
+)
+from repro.core.profitability.case_studies import (
+    best_reward_operation,
+    best_resale_operation,
+    find_rarity_games,
+)
+
+__all__ = [
+    "MarketContext",
+    "RewardOutcome",
+    "RewardProfitability",
+    "analyze_reward_profitability",
+    "ResaleOutcome",
+    "ResaleProfitability",
+    "analyze_resale_profitability",
+    "best_reward_operation",
+    "best_resale_operation",
+    "find_rarity_games",
+]

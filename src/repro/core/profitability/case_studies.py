@@ -1,0 +1,82 @@
+"""Case-study extraction (Sec. VII).
+
+The paper walks through three notable operations: the most lucrative
+reward-system exploit, a high-return resale pump, and the "rarity game"
+pattern in which NFTs are repeatedly sold on a venue and silently handed
+back to the seller off-market to farm sale-triggered trait upgrades.
+These helpers surface the same kinds of examples from a pipeline run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.core.activity import WashTradingActivity
+from repro.core.detectors.pipeline import PipelineResult
+from repro.core.profitability.resale import ResaleOutcome
+from repro.core.profitability.rewards import RewardOutcome, RewardProfitability
+
+
+def best_reward_operation(
+    profitability: Mapping[str, RewardProfitability]
+) -> Optional[RewardOutcome]:
+    """The single most profitable reward-farming activity across venues."""
+    best: Optional[RewardOutcome] = None
+    for venue_stats in profitability.values():
+        for outcome in venue_stats.outcomes:
+            if best is None or outcome.balance_usd > best.balance_usd:
+                best = outcome
+    return best
+
+
+def best_resale_operation(outcomes: Sequence[ResaleOutcome]) -> Optional[ResaleOutcome]:
+    """The single most profitable resale activity."""
+    sold = [outcome for outcome in outcomes if outcome.sold]
+    if not sold:
+        return None
+    return max(sold, key=lambda outcome: outcome.net_profit_usd)
+
+
+@dataclass
+class RarityGameCase:
+    """One suspected rarity-farming operation.
+
+    The fingerprint: within one activity, the same seller repeatedly sells
+    the NFT through a marketplace (paid legs) and each buyer returns it
+    off-market for free (unpaid legs outside any venue).
+    """
+
+    activity: WashTradingActivity
+    seller: str
+    paid_marketplace_sales: int
+    free_offmarket_returns: int
+
+
+def find_rarity_games(result: PipelineResult, min_rounds: int = 2) -> List[RarityGameCase]:
+    """Detect the OG:Crystals-style rarity-farming pattern."""
+    cases: List[RarityGameCase] = []
+    for activity in result.activities:
+        component = activity.component
+        sales_by_seller: Dict[str, int] = {}
+        returns_by_recipient: Dict[str, int] = {}
+        for transfer in component.transfers:
+            if transfer.marketplace is not None and transfer.price_wei > 0:
+                sales_by_seller[transfer.sender] = sales_by_seller.get(transfer.sender, 0) + 1
+            if transfer.marketplace is None and transfer.price_wei == 0:
+                returns_by_recipient[transfer.recipient] = (
+                    returns_by_recipient.get(transfer.recipient, 0) + 1
+                )
+        for seller, sale_count in sales_by_seller.items():
+            free_returns = returns_by_recipient.get(seller, 0)
+            if sale_count >= min_rounds and free_returns >= min_rounds:
+                cases.append(
+                    RarityGameCase(
+                        activity=activity,
+                        seller=seller,
+                        paid_marketplace_sales=sale_count,
+                        free_offmarket_returns=free_returns,
+                    )
+                )
+                break
+    return cases

@@ -1,0 +1,289 @@
+"""Profitability of reselling a wash-traded NFT (Sec. VI-B).
+
+On venues without a reward program the only way to profit is to resell
+the pumped NFT to an outsider at a higher price.  The per-activity
+balance is
+
+    balance = resell_price - (buy_price + fees)                   (Eq. 3)
+
+with fees covering the gas of the wash trades and the venue fees they
+paid.  The analysis reports three views, as the paper does: the naive
+buy-vs-resell comparison, the fee-inclusive ETH balance, and the USD
+balance using the exchange rate of each transaction's day.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.chain.transaction import Transaction
+from repro.core.activity import WashTradingActivity
+from repro.core.detectors.pipeline import PipelineResult
+from repro.core.profitability.context import MarketContext
+from repro.ingest.dataset import NFTDataset
+from repro.ingest.records import NFTTransfer
+from repro.utils.currency import wei_to_eth
+from repro.utils.timeutil import SECONDS_PER_DAY
+
+
+@dataclass
+class ResaleOutcome:
+    """Gain/loss of one resale-style activity."""
+
+    activity: WashTradingActivity
+    venue: Optional[str]
+    sold: bool
+    buy_price_wei: int = 0
+    resell_price_wei: int = 0
+    fees_wei: int = 0
+    buy_timestamp: int = 0
+    resell_timestamp: int = 0
+    buy_price_usd: float = 0.0
+    resell_price_usd: float = 0.0
+    fees_usd: float = 0.0
+
+    # -- ETH views ------------------------------------------------------------
+    @property
+    def gross_profit_eth(self) -> float:
+        """Resell price minus buy price, ignoring fees."""
+        return wei_to_eth(self.resell_price_wei - self.buy_price_wei)
+
+    @property
+    def net_profit_eth(self) -> float:
+        """Eq. 3 in ETH: resell minus buy minus fees."""
+        return wei_to_eth(self.resell_price_wei - self.buy_price_wei - self.fees_wei)
+
+    @property
+    def net_profit_usd(self) -> float:
+        """Eq. 3 in USD at per-transaction exchange rates."""
+        return self.resell_price_usd - self.buy_price_usd - self.fees_usd
+
+    @property
+    def sold_same_day(self) -> bool:
+        """True if the resale happened the day the manipulation ended."""
+        if not self.sold:
+            return False
+        return (
+            self.resell_timestamp - self.activity.component.last_timestamp
+            <= SECONDS_PER_DAY
+        )
+
+    @property
+    def sold_within_month(self) -> bool:
+        """True if the resale happened within 30 days of the manipulation's end."""
+        if not self.sold:
+            return False
+        return (
+            self.resell_timestamp - self.activity.component.last_timestamp
+            <= 30 * SECONDS_PER_DAY
+        )
+
+
+@dataclass
+class ResaleProfitability:
+    """Aggregate resale statistics (the Sec. VI-B numbers)."""
+
+    outcomes: List[ResaleOutcome] = field(default_factory=list)
+
+    @property
+    def total_activities(self) -> int:
+        """Number of activities examined."""
+        return len(self.outcomes)
+
+    @property
+    def sold(self) -> List[ResaleOutcome]:
+        """Activities followed by a sale to an external entity."""
+        return [outcome for outcome in self.outcomes if outcome.sold]
+
+    @property
+    def unsold_count(self) -> int:
+        """Activities never followed by an external sale."""
+        return self.total_activities - len(self.sold)
+
+    @property
+    def unsold_fraction(self) -> float:
+        """Share of activities never followed by an external sale (~65% in the paper)."""
+        if not self.outcomes:
+            return 0.0
+        return self.unsold_count / self.total_activities
+
+    # -- success rates under the three accounting views -----------------------------
+    def success_rate_gross(self) -> float:
+        """Share of sold activities with resell > buy (no fees)."""
+        sold = self.sold
+        if not sold:
+            return 0.0
+        return sum(1 for outcome in sold if outcome.gross_profit_eth > 0) / len(sold)
+
+    def success_rate_net(self) -> float:
+        """Share of sold activities with a positive fee-inclusive ETH balance."""
+        sold = self.sold
+        if not sold:
+            return 0.0
+        return sum(1 for outcome in sold if outcome.net_profit_eth > 0) / len(sold)
+
+    def success_rate_usd(self) -> float:
+        """Share of sold activities with a positive USD balance."""
+        sold = self.sold
+        if not sold:
+            return 0.0
+        return sum(1 for outcome in sold if outcome.net_profit_usd > 0) / len(sold)
+
+    # -- magnitude statistics -----------------------------------------------------------
+    def mean_gain_eth(self, net: bool = True) -> float:
+        """Mean ETH profit of the profitable sold activities."""
+        gains = [
+            outcome.net_profit_eth if net else outcome.gross_profit_eth
+            for outcome in self.sold
+            if (outcome.net_profit_eth if net else outcome.gross_profit_eth) > 0
+        ]
+        return sum(gains) / len(gains) if gains else 0.0
+
+    def mean_loss_eth(self, net: bool = True) -> float:
+        """Mean ETH loss (positive number) of the losing sold activities."""
+        losses = [
+            -(outcome.net_profit_eth if net else outcome.gross_profit_eth)
+            for outcome in self.sold
+            if (outcome.net_profit_eth if net else outcome.gross_profit_eth) <= 0
+        ]
+        return sum(losses) / len(losses) if losses else 0.0
+
+    def max_gain_eth(self, net: bool = True) -> float:
+        """Largest ETH profit among sold activities."""
+        profits = [
+            outcome.net_profit_eth if net else outcome.gross_profit_eth
+            for outcome in self.sold
+        ]
+        return max(profits) if profits else 0.0
+
+    def max_loss_eth(self, net: bool = True) -> float:
+        """Largest ETH loss (positive number) among sold activities."""
+        profits = [
+            outcome.net_profit_eth if net else outcome.gross_profit_eth
+            for outcome in self.sold
+        ]
+        return -min(profits) if profits else 0.0
+
+    def sold_same_day_fraction(self) -> float:
+        """Share of sold NFTs resold the day the manipulation ended."""
+        sold = self.sold
+        if not sold:
+            return 0.0
+        return sum(1 for outcome in sold if outcome.sold_same_day) / len(sold)
+
+    def sold_within_month_fraction(self) -> float:
+        """Share of sold NFTs resold within 30 days of the manipulation's end."""
+        sold = self.sold
+        if not sold:
+            return 0.0
+        return sum(1 for outcome in sold if outcome.sold_within_month) / len(sold)
+
+
+def _acquisition_transfer(
+    dataset: NFTDataset, activity: WashTradingActivity
+) -> Optional[NFTTransfer]:
+    """The last transfer that brought the NFT into the colluding set."""
+    component = activity.component
+    acquisition: Optional[NFTTransfer] = None
+    for transfer in dataset.transfers_of(activity.nft):
+        if transfer.timestamp >= component.first_timestamp:
+            break
+        if (
+            transfer.recipient in component.accounts
+            and transfer.sender not in component.accounts
+        ):
+            acquisition = transfer
+    return acquisition
+
+
+def _resale_transfer(
+    dataset: NFTDataset, activity: WashTradingActivity
+) -> Optional[NFTTransfer]:
+    """The first paid transfer of the NFT out of the colluding set."""
+    component = activity.component
+    for transfer in dataset.transfers_of(activity.nft):
+        if transfer.timestamp <= component.last_timestamp:
+            continue
+        if (
+            transfer.sender in component.accounts
+            and transfer.recipient not in component.accounts
+            and transfer.price_wei > 0
+        ):
+            return transfer
+    return None
+
+
+def analyze_resale_activity(
+    activity: WashTradingActivity,
+    dataset: NFTDataset,
+    context: MarketContext,
+) -> ResaleOutcome:
+    """Compute Eq. 3 for one activity."""
+    component = activity.component
+    oracle = context.oracle
+    treasuries = context.all_treasuries()
+
+    acquisition = _acquisition_transfer(dataset, activity)
+    resale = _resale_transfer(dataset, activity)
+
+    # Fees: gas of the wash-trade transactions paid by members, plus venue
+    # fees those transactions routed to any marketplace treasury.
+    wash_txs: Dict[str, Transaction] = {}
+    for member in component.accounts:
+        for tx in dataset.transactions_of(member):
+            if tx.hash in component.tx_hashes and tx.hash not in wash_txs:
+                wash_txs[tx.hash] = tx
+    fees_wei = 0
+    fees_usd = 0.0
+    for tx in wash_txs.values():
+        if tx.sender in component.accounts:
+            fees_wei += tx.fee_wei
+            fees_usd += oracle.wei_to_usd(tx.fee_wei, tx.timestamp)
+        to_treasury = sum(
+            movement.amount_wei
+            for movement in tx.value_transfers
+            if movement.recipient in treasuries
+        )
+        fees_wei += to_treasury
+        fees_usd += oracle.wei_to_usd(to_treasury, tx.timestamp)
+
+    buy_price_wei = acquisition.price_wei if acquisition else 0
+    buy_timestamp = acquisition.timestamp if acquisition else component.first_timestamp
+    resell_price_wei = resale.price_wei if resale else 0
+    resell_timestamp = resale.timestamp if resale else 0
+
+    return ResaleOutcome(
+        activity=activity,
+        venue=component.dominant_marketplace(),
+        sold=resale is not None,
+        buy_price_wei=buy_price_wei,
+        resell_price_wei=resell_price_wei,
+        fees_wei=fees_wei,
+        buy_timestamp=buy_timestamp,
+        resell_timestamp=resell_timestamp,
+        buy_price_usd=oracle.wei_to_usd(buy_price_wei, buy_timestamp),
+        resell_price_usd=(
+            oracle.wei_to_usd(resell_price_wei, resell_timestamp) if resale else 0.0
+        ),
+        fees_usd=fees_usd,
+    )
+
+
+def analyze_resale_profitability(
+    result: PipelineResult,
+    dataset: NFTDataset,
+    context: MarketContext,
+    venues: Optional[Sequence[str]] = None,
+) -> ResaleProfitability:
+    """Run the resale analysis over every activity on non-reward venues."""
+    target_venues = set(venues) if venues is not None else set(context.non_reward_venues())
+    profitability = ResaleProfitability()
+    for activity in result.activities:
+        venue = activity.component.dominant_marketplace()
+        if venue is None or venue not in target_venues:
+            continue
+        profitability.outcomes.append(
+            analyze_resale_activity(activity, dataset, context)
+        )
+    return profitability

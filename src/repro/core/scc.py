@@ -1,0 +1,101 @@
+"""Strongly connected components.
+
+The paper uses "Tarjan's algorithm with Nuutila's modifications
+implemented by the Python library NetworkX" and then keeps the SCCs with
+at least two nodes **plus** single nodes that carry a self-loop (a
+self-trade is a one-node wash trade).  This module provides both an
+independent iterative Tarjan implementation and a NetworkX-backed one;
+tests cross-check them against each other, and the pipeline uses the
+NetworkX path by default, as the paper does.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Set
+
+import networkx as nx
+
+
+def tarjan_scc(graph: nx.DiGraph | nx.MultiDiGraph) -> List[Set[Hashable]]:
+    """Iterative Tarjan SCC over a (multi)digraph.
+
+    Returns every strongly connected component, including trivial
+    single-node ones, in reverse topological order of the condensation
+    (the classic Tarjan emission order).
+    """
+    index_counter = 0
+    index: dict[Hashable, int] = {}
+    lowlink: dict[Hashable, int] = {}
+    on_stack: Set[Hashable] = set()
+    stack: List[Hashable] = []
+    components: List[Set[Hashable]] = []
+
+    for root in graph.nodes:
+        if root in index:
+            continue
+        # Each frame is (node, iterator over successors).
+        work: List[tuple[Hashable, Iterable[Hashable]]] = [(root, iter(graph.successors(root)))]
+        index[root] = lowlink[root] = index_counter
+        index_counter += 1
+        stack.append(root)
+        on_stack.add(root)
+
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for successor in successors:
+                if successor not in index:
+                    index[successor] = lowlink[successor] = index_counter
+                    index_counter += 1
+                    stack.append(successor)
+                    on_stack.add(successor)
+                    work.append((successor, iter(graph.successors(successor))))
+                    advanced = True
+                    break
+                if successor in on_stack:
+                    lowlink[node] = min(lowlink[node], index[successor])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index[node]:
+                component: Set[Hashable] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def strongly_connected_components(
+    graph: nx.DiGraph | nx.MultiDiGraph, use_networkx: bool = True
+) -> List[Set[Hashable]]:
+    """SCCs under the paper's definition.
+
+    Keeps components with at least two nodes, plus single-node components
+    whose node has a self-loop.
+    """
+    if use_networkx:
+        raw = [set(component) for component in nx.strongly_connected_components(graph)]
+    else:
+        raw = tarjan_scc(graph)
+
+    kept: List[Set[Hashable]] = []
+    for component in raw:
+        if len(component) >= 2:
+            kept.append(component)
+            continue
+        (only,) = component
+        if graph.has_edge(only, only):
+            kept.append(component)
+    return kept
+
+
+def has_suspicious_component(graph: nx.DiGraph | nx.MultiDiGraph) -> bool:
+    """True if the graph has at least one SCC under the paper's definition."""
+    return bool(strongly_connected_components(graph))

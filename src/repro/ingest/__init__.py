@@ -1,0 +1,35 @@
+"""Dataset construction (Sec. III of the paper).
+
+The ingest layer turns raw chain observables into the paper's dataset:
+
+1. :mod:`repro.ingest.transfer_scan` -- collect every log matching the
+   ERC-721 ``Transfer`` topic layout.
+2. :mod:`repro.ingest.compliance` -- keep only contracts passing the
+   ERC-165 ``supportsInterface(0x80ac58cd)`` check.
+3. :mod:`repro.ingest.marketplace_attribution` -- attribute each transfer
+   to the marketplace contract the transaction interacted with.
+4. :mod:`repro.ingest.account_tx` -- collect every transaction of every
+   account that appears in a transfer.
+5. :mod:`repro.ingest.dataset` -- assemble the :class:`NFTDataset` the
+   detection pipeline consumes.
+"""
+
+from repro.ingest.records import NFTTransfer, ERC20Payment
+from repro.ingest.transfer_scan import scan_erc721_transfer_logs, TransferScanResult
+from repro.ingest.compliance import check_erc721_compliance, ComplianceReport
+from repro.ingest.marketplace_attribution import attribute_marketplace
+from repro.ingest.account_tx import collect_account_transactions
+from repro.ingest.dataset import NFTDataset, build_dataset
+
+__all__ = [
+    "NFTTransfer",
+    "ERC20Payment",
+    "scan_erc721_transfer_logs",
+    "TransferScanResult",
+    "check_erc721_compliance",
+    "ComplianceReport",
+    "attribute_marketplace",
+    "collect_account_transactions",
+    "NFTDataset",
+    "build_dataset",
+]

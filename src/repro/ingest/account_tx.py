@@ -1,0 +1,34 @@
+"""Collecting the standard transactions of accounts involved in transfers.
+
+This is the paper's second pass over the node: "we query our node a
+second time to retrieve all the transactions (sent and received) for
+accounts that appear as the source or the recipient of a Transfer
+event."  Those transactions are what the common-funder, common-exit and
+profitability analyses consume.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.chain.node import EthereumNode
+from repro.chain.transaction import Transaction
+
+
+def collect_account_transactions(
+    node: EthereumNode, accounts: Iterable[str]
+) -> Dict[str, List[Transaction]]:
+    """Return, for each account, every transaction it took part in.
+
+    "Took part in" covers being the sender, the top-level recipient, a
+    party of an internal ETH transfer, or a party of an ERC-20 transfer
+    log -- the same notion of involvement a trace-indexing archive node
+    provides.
+    """
+    collected: Dict[str, List[Transaction]] = {}
+    for account in accounts:
+        transactions = node.get_transactions_of(account)
+        collected[account] = sorted(
+            transactions, key=lambda tx: (tx.block_number, tx.hash)
+        )
+    return collected

@@ -1,0 +1,199 @@
+"""The assembled dataset the detection pipeline consumes."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Set
+
+from repro.chain.node import EthereumNode
+from repro.chain.transaction import Transaction
+from repro.chain.types import NFTKey, NULL_ADDRESS
+from repro.ingest.account_tx import collect_account_transactions
+from repro.ingest.compliance import ComplianceReport, check_erc721_compliance
+from repro.ingest.marketplace_attribution import build_reverse_index
+from repro.ingest.records import ERC20Payment, NFTTransfer
+from repro.ingest.transfer_scan import (
+    TransferScanResult,
+    decode_transfer_log,
+    scan_erc721_transfer_logs,
+)
+
+
+@dataclass
+class MarketplaceActivity:
+    """Aggregate activity of one venue (one row of Table I)."""
+
+    name: str
+    nfts: Set[NFTKey] = field(default_factory=set)
+    transaction_hashes: Set[str] = field(default_factory=set)
+    volume_wei: int = 0
+
+    @property
+    def nft_count(self) -> int:
+        """Distinct NFTs traded through the venue."""
+        return len(self.nfts)
+
+    @property
+    def transaction_count(self) -> int:
+        """Distinct transactions interacting with the venue."""
+        return len(self.transaction_hashes)
+
+
+@dataclass
+class NFTDataset:
+    """Everything Sec. III collects, in one queryable object."""
+
+    transfers_by_nft: Dict[NFTKey, List[NFTTransfer]]
+    compliance: ComplianceReport
+    scan: TransferScanResult
+    account_transactions: Dict[str, List[Transaction]]
+    marketplace_addresses: Mapping[str, str]
+
+    # -- sizes -----------------------------------------------------------------
+    @property
+    def nft_count(self) -> int:
+        """Number of distinct NFTs with at least one transfer."""
+        return len(self.transfers_by_nft)
+
+    @property
+    def collection_count(self) -> int:
+        """Number of distinct compliant collections with transfers."""
+        return len({nft.contract for nft in self.transfers_by_nft})
+
+    @property
+    def transfer_count(self) -> int:
+        """Total number of ERC-721 transfers retained."""
+        return sum(len(transfers) for transfers in self.transfers_by_nft.values())
+
+    # -- access ------------------------------------------------------------------
+    def transfers_of(self, nft: NFTKey) -> List[NFTTransfer]:
+        """Transfers of one NFT in chain order."""
+        return self.transfers_by_nft.get(nft, [])
+
+    def nfts(self) -> Iterable[NFTKey]:
+        """Every NFT in the dataset."""
+        return self.transfers_by_nft.keys()
+
+    def collections(self) -> Set[str]:
+        """Every collection (contract address) in the dataset."""
+        return {nft.contract for nft in self.transfers_by_nft}
+
+    def nfts_of_collection(self, contract: str) -> List[NFTKey]:
+        """The NFTs of one collection present in the dataset."""
+        return [nft for nft in self.transfers_by_nft if nft.contract == contract]
+
+    def involved_accounts(self) -> Set[str]:
+        """Every account appearing as source or recipient of a transfer."""
+        accounts: Set[str] = set()
+        for transfers in self.transfers_by_nft.values():
+            for transfer in transfers:
+                if transfer.sender != NULL_ADDRESS:
+                    accounts.add(transfer.sender)
+                if transfer.recipient != NULL_ADDRESS:
+                    accounts.add(transfer.recipient)
+        return accounts
+
+    def transactions_of(self, account: str) -> List[Transaction]:
+        """All standard transactions collected for an account."""
+        return self.account_transactions.get(account, [])
+
+    # -- volumes ------------------------------------------------------------------
+    @property
+    def total_volume_wei(self) -> int:
+        """Total ETH volume moved by the transactions carrying transfers."""
+        return sum(
+            transfer.price_wei
+            for transfers in self.transfers_by_nft.values()
+            for transfer in transfers
+        )
+
+    def marketplace_activity(self) -> Dict[str, MarketplaceActivity]:
+        """Per-venue NFT counts, transaction counts and volumes (Table I)."""
+        activity: Dict[str, MarketplaceActivity] = {
+            name: MarketplaceActivity(name=name) for name in self.marketplace_addresses
+        }
+        for nft, transfers in self.transfers_by_nft.items():
+            for transfer in transfers:
+                if transfer.marketplace is None:
+                    continue
+                venue = activity[transfer.marketplace]
+                venue.nfts.add(nft)
+                if transfer.tx_hash not in venue.transaction_hashes:
+                    venue.transaction_hashes.add(transfer.tx_hash)
+                    venue.volume_wei += transfer.price_wei
+        return activity
+
+    def volume_of_collection_wei(self, contract: str) -> int:
+        """Total traded volume of one collection."""
+        return sum(
+            transfer.price_wei
+            for nft, transfers in self.transfers_by_nft.items()
+            if nft.contract == contract
+            for transfer in transfers
+        )
+
+
+def build_dataset(
+    node: EthereumNode,
+    marketplace_addresses: Mapping[str, str],
+    from_block: int = 0,
+    to_block: Optional[int] = None,
+    enforce_compliance: bool = True,
+) -> NFTDataset:
+    """Run the full Sec. III collection pipeline against a node.
+
+    Steps: scan for ERC-721-shaped Transfer events, check ERC-165
+    compliance of the emitting contracts, enrich each transfer with its
+    transaction context (price, gas, venue, co-occurring ERC-20 moves),
+    then collect every transaction of every involved account.
+    """
+    scan = scan_erc721_transfer_logs(node, from_block=from_block, to_block=to_block)
+    compliance = check_erc721_compliance(node, sorted(scan.emitting_contracts))
+    venue_by_address = build_reverse_index(marketplace_addresses)
+
+    transfers_by_nft: Dict[NFTKey, List[NFTTransfer]] = defaultdict(list)
+    for tx, log in scan.matches:
+        if enforce_compliance and not compliance.is_compliant(log.address):
+            continue
+        sender, recipient, token_id = decode_transfer_log(log)
+        erc20_payments = tuple(
+            ERC20Payment(
+                token=other.address,
+                sender=other.topics[1],
+                recipient=other.topics[2],
+                amount=int(other.data.get("value", 0)),
+            )
+            for other in tx.logs
+            if other.is_erc20_transfer
+        )
+        transfer = NFTTransfer(
+            nft=NFTKey(contract=log.address, token_id=token_id),
+            sender=sender,
+            recipient=recipient,
+            tx_hash=tx.hash,
+            block_number=tx.block_number,
+            timestamp=tx.timestamp,
+            price_wei=tx.value_wei,
+            gas_fee_wei=tx.fee_wei,
+            interacted_contract=tx.interacted_contract,
+            marketplace=venue_by_address.get(tx.to) if tx.to else None,
+            tx_sender=tx.sender,
+            erc20_payments=erc20_payments,
+        )
+        transfers_by_nft[transfer.nft].append(transfer)
+
+    for transfers in transfers_by_nft.values():
+        transfers.sort(key=lambda item: (item.block_number, item.tx_hash))
+
+    dataset = NFTDataset(
+        transfers_by_nft=dict(transfers_by_nft),
+        compliance=compliance,
+        scan=scan,
+        account_transactions={},
+        marketplace_addresses=dict(marketplace_addresses),
+    )
+    dataset.account_transactions = collect_account_transactions(
+        node, sorted(dataset.involved_accounts())
+    )
+    return dataset

@@ -1,0 +1,36 @@
+"""Attributing NFT transfers to marketplaces.
+
+The paper: "we study in which marketplaces the NFT transfer transactions
+occurred by looking at which smart contract address the transactions
+interact with."  Attribution is therefore a lookup of the transaction's
+``to`` address in the list of known marketplace contract addresses
+(collected from Etherscan in the paper, provided by the world builder
+here).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.chain.transaction import Transaction
+
+
+def attribute_marketplace(
+    tx: Transaction, marketplace_addresses: Mapping[str, str]
+) -> Optional[str]:
+    """Return the venue name a transaction interacted with, if any.
+
+    ``marketplace_addresses`` maps venue name to contract address.
+    """
+    target = tx.to
+    if target is None:
+        return None
+    for name, address in marketplace_addresses.items():
+        if address == target:
+            return name
+    return None
+
+
+def build_reverse_index(marketplace_addresses: Mapping[str, str]) -> Mapping[str, str]:
+    """Invert the name->address map into address->name for bulk attribution."""
+    return {address: name for name, address in marketplace_addresses.items()}

@@ -1,0 +1,39 @@
+"""NFT marketplaces.
+
+Each marketplace is a smart contract users interact with to buy and sell
+NFTs.  A sale transaction is sent *to the marketplace contract* (this is
+how the paper attributes trades to venues), carries the price as ETH
+value, and in one transaction moves the NFT, pays the seller, and pays
+the venue fee to a treasury account.  LooksRare and Rarible additionally
+run token reward programs that pay users pro-rata to their daily volume
+-- the mechanism the paper identifies as the main driver of wash trading.
+"""
+
+from repro.marketplaces.base import Marketplace, SaleRecord
+from repro.marketplaces.rewards import RewardProgram, RewardDistributor, RewardSchedule
+from repro.marketplaces.venues import (
+    OpenSea,
+    LooksRare,
+    Rarible,
+    SuperRare,
+    Foundation,
+    Decentraland,
+    MARKETPLACE_FEE_BPS,
+    build_standard_marketplaces,
+)
+
+__all__ = [
+    "Marketplace",
+    "SaleRecord",
+    "RewardProgram",
+    "RewardDistributor",
+    "RewardSchedule",
+    "OpenSea",
+    "LooksRare",
+    "Rarible",
+    "SuperRare",
+    "Foundation",
+    "Decentraland",
+    "MARKETPLACE_FEE_BPS",
+    "build_standard_marketplaces",
+]

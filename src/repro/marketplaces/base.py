@@ -1,0 +1,207 @@
+"""Marketplace contract base class."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.chain.types import Call, NFTKey
+from repro.contracts.base import Contract
+from repro.contracts.erc721 import ERC721Collection
+from repro.utils.hashing import address_from_parts
+from repro.utils.timeutil import day_of
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.chain.context import TxContext
+    from repro.marketplaces.rewards import RewardProgram
+
+
+@dataclass(frozen=True)
+class SaleRecord:
+    """One completed sale, as the marketplace itself would book it.
+
+    The detection pipeline never reads these records -- it works from
+    chain observables only -- but tests and ground-truth validation use
+    them as an independent account of what happened.
+    """
+
+    marketplace: str
+    collection: str
+    token_id: int
+    seller: str
+    buyer: str
+    price_wei: int
+    fee_wei: int
+    timestamp: int
+
+    @property
+    def nft(self) -> NFTKey:
+        """The traded NFT."""
+        return NFTKey(contract=self.collection, token_id=self.token_id)
+
+
+class Marketplace(Contract):
+    """A generic NFT marketplace contract.
+
+    Parameters
+    ----------
+    name:
+        Venue name (e.g. ``"OpenSea"``).
+    fee_bps:
+        Total venue fee in basis points of the sale price, paid out of the
+        seller's proceeds to the venue treasury.
+    uses_escrow:
+        If True the venue requires the NFT to sit in an escrow EOA while
+        listed, and sales transfer it out of escrow instead of out of the
+        seller's wallet.
+    """
+
+    EXPOSED_FUNCTIONS = {"buy", "depositToEscrow", "releaseFromEscrow"}
+    VIEW_FUNCTIONS = {"supportsInterface", "feeBps", "treasuryAddress"}
+
+    def __init__(self, name: str, fee_bps: int, uses_escrow: bool = False) -> None:
+        super().__init__()
+        self.name = name
+        self.fee_bps = fee_bps
+        self.uses_escrow = uses_escrow
+        #: EOA that accumulates venue fees ("treasury account" in the paper).
+        self.treasury_address = address_from_parts("treasury", name)
+        #: EOA holding escrowed NFTs, if the venue uses escrow.
+        self.escrow_address = address_from_parts("escrow", name) if uses_escrow else None
+        self.reward_program: Optional["RewardProgram"] = None
+        self.sales: List[SaleRecord] = []
+        self._escrowed_by: Dict[Tuple[str, int], str] = {}
+
+    # -- configuration ----------------------------------------------------------
+    def attach_reward_program(self, program: "RewardProgram") -> None:
+        """Attach a volume-based token reward program to this venue."""
+        self.reward_program = program
+
+    # -- views --------------------------------------------------------------------
+    def feeBps(self) -> int:
+        """Venue fee in basis points."""
+        return self.fee_bps
+
+    def treasuryAddress(self) -> str:
+        """Address of the fee treasury."""
+        return self.treasury_address
+
+    def fee_for(self, price_wei: int) -> int:
+        """Fee charged on a sale of the given price."""
+        return price_wei * self.fee_bps // 10_000
+
+    # -- escrow -----------------------------------------------------------------------
+    def depositToEscrow(self, ctx: "TxContext", collection: str, token_id: int) -> None:
+        """Move the caller's NFT into the venue escrow account (a listing)."""
+        ctx.require(self.uses_escrow, f"{self.name} does not use escrow")
+        nft_contract = self._collection_at(ctx, collection)
+        owner = nft_contract.ownerOf(token_id)
+        ctx.require(owner == ctx.caller, "only the owner can escrow an NFT")
+        ctx.call_contract(
+            collection,
+            Call(
+                "transferFrom",
+                {"sender": ctx.caller, "to": self.escrow_address, "token_id": token_id},
+            ),
+        )
+        self._escrowed_by[(collection, token_id)] = ctx.caller
+
+    def releaseFromEscrow(self, ctx: "TxContext", collection: str, token_id: int) -> None:
+        """Return an escrowed NFT to the account that deposited it (delisting)."""
+        ctx.require(self.uses_escrow, f"{self.name} does not use escrow")
+        depositor = self._escrowed_by.get((collection, token_id))
+        ctx.require(depositor == ctx.caller, "only the depositor can delist")
+        ctx.call_contract(
+            collection,
+            Call(
+                "transferFrom",
+                {"sender": self.escrow_address, "to": depositor, "token_id": token_id},
+            ),
+        )
+        del self._escrowed_by[(collection, token_id)]
+
+    # -- sales --------------------------------------------------------------------------
+    def buy(
+        self,
+        ctx: "TxContext",
+        collection: str,
+        token_id: int,
+        seller: str,
+        price_wei: int,
+    ) -> None:
+        """Execute a sale: the caller buys ``token_id`` from ``seller``.
+
+        The transaction must attach exactly ``price_wei`` of ETH.  In one
+        transaction the NFT moves to the buyer, the seller receives the
+        price minus the venue fee, and the fee lands in the treasury.
+        """
+        buyer = ctx.caller
+        ctx.require(ctx.value_wei == price_wei, "attached value must equal the price")
+        ctx.require(price_wei >= 0, "price must be non-negative")
+        nft_contract = self._collection_at(ctx, collection)
+
+        if self.uses_escrow:
+            depositor = self._escrowed_by.get((collection, token_id))
+            ctx.require(
+                depositor == seller,
+                f"token {token_id} is not escrowed by {seller} on {self.name}",
+            )
+            nft_source = self.escrow_address
+        else:
+            owner = nft_contract.ownerOf(token_id)
+            ctx.require(owner == seller, f"{seller} does not own token {token_id}")
+            nft_source = seller
+
+        fee_wei = self.fee_for(price_wei)
+        ctx.call_contract(
+            collection,
+            Call(
+                "transferFrom",
+                {"sender": nft_source, "to": buyer, "token_id": token_id},
+            ),
+        )
+        if self.uses_escrow:
+            del self._escrowed_by[(collection, token_id)]
+        if price_wei:
+            ctx.transfer(self.bound_address, seller, price_wei - fee_wei)
+            if fee_wei:
+                ctx.transfer(self.bound_address, self.treasury_address, fee_wei)
+
+        record = SaleRecord(
+            marketplace=self.name,
+            collection=collection,
+            token_id=token_id,
+            seller=seller,
+            buyer=buyer,
+            price_wei=price_wei,
+            fee_wei=fee_wei,
+            timestamp=ctx.timestamp,
+        )
+        self.sales.append(record)
+        if self.reward_program is not None:
+            day = day_of(ctx.timestamp)
+            # Both legs of the trade count toward reward volume, exactly
+            # the property wash traders exploit.
+            self.reward_program.record_volume(buyer, price_wei, day)
+            self.reward_program.record_volume(seller, price_wei, day)
+
+    # -- helpers ---------------------------------------------------------------------------
+    def _collection_at(self, ctx: "TxContext", collection: str) -> ERC721Collection:
+        contract = ctx.chain.state.contract_at(collection)
+        ctx.require(contract is not None, f"{collection} is not a contract")
+        ctx.require(
+            isinstance(contract, ERC721Collection) or hasattr(contract, "ownerOf"),
+            f"{collection} is not an NFT collection",
+        )
+        return contract  # type: ignore[return-value]
+
+    # -- bookkeeping used by tests and ground truth ------------------------------------------
+    @property
+    def total_volume_wei(self) -> int:
+        """Sum of all sale prices executed on this venue."""
+        return sum(sale.price_wei for sale in self.sales)
+
+    @property
+    def sale_count(self) -> int:
+        """Number of completed sales."""
+        return len(self.sales)

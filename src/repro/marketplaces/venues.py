@@ -1,0 +1,175 @@
+"""The six marketplaces the paper studies, with their fee schedules.
+
+Fees follow the paper's discussion (Sec. IX): OpenSea 2.5%, LooksRare
+2%, Rarible 2%, Foundation 15% (which the paper argues is why it shows
+no wash trading), plus typical values for SuperRare and Decentraland.
+LooksRare and Rarible carry token reward programs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.chain.chain import Chain
+from repro.contracts.erc20 import ERC20Token
+from repro.contracts.registry import ContractRegistry
+from repro.marketplaces.base import Marketplace
+from repro.marketplaces.rewards import RewardDistributor, RewardProgram, RewardSchedule
+from repro.services.labels import LabelRegistry
+
+#: Venue fee levels, in basis points of the sale price.
+MARKETPLACE_FEE_BPS: Dict[str, int] = {
+    "OpenSea": 250,
+    "LooksRare": 200,
+    "Rarible": 200,
+    "SuperRare": 300,
+    "Foundation": 1500,
+    "Decentraland": 250,
+}
+
+
+class OpenSea(Marketplace):
+    """The largest venue; no reward token, 2.5% fee."""
+
+    def __init__(self) -> None:
+        super().__init__(name="OpenSea", fee_bps=MARKETPLACE_FEE_BPS["OpenSea"])
+
+
+class LooksRare(Marketplace):
+    """2% fee and the LOOKS trading-reward program."""
+
+    def __init__(self) -> None:
+        super().__init__(name="LooksRare", fee_bps=MARKETPLACE_FEE_BPS["LooksRare"])
+
+
+class Rarible(Marketplace):
+    """2% fee and the RARI trading-reward program."""
+
+    def __init__(self) -> None:
+        super().__init__(name="Rarible", fee_bps=MARKETPLACE_FEE_BPS["Rarible"])
+
+
+class SuperRare(Marketplace):
+    """Curated art venue, 3% secondary fee, no reward token."""
+
+    def __init__(self) -> None:
+        super().__init__(name="SuperRare", fee_bps=MARKETPLACE_FEE_BPS["SuperRare"])
+
+
+class Foundation(Marketplace):
+    """High-fee (15%) curated venue; uses an escrow account for listings."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            name="Foundation", fee_bps=MARKETPLACE_FEE_BPS["Foundation"], uses_escrow=True
+        )
+
+
+class Decentraland(Marketplace):
+    """The Decentraland LAND/wearables marketplace, 2.5% fee."""
+
+    def __init__(self) -> None:
+        super().__init__(name="Decentraland", fee_bps=MARKETPLACE_FEE_BPS["Decentraland"])
+
+
+@dataclass
+class DeployedMarketplaces:
+    """Handles to every deployed venue and its reward machinery."""
+
+    venues: Dict[str, Marketplace]
+    reward_tokens: Dict[str, ERC20Token]
+    reward_distributors: Dict[str, RewardDistributor]
+    reward_token_addresses: Dict[str, str]
+    distributor_addresses: Dict[str, str]
+
+    def venue(self, name: str) -> Marketplace:
+        """Marketplace handle by name."""
+        return self.venues[name]
+
+    def address_of(self, name: str) -> str:
+        """On-chain address of a venue contract."""
+        return self.venues[name].bound_address
+
+    @property
+    def addresses_by_name(self) -> Dict[str, str]:
+        """Mapping venue name -> contract address (the paper's Etherscan list)."""
+        return {name: venue.bound_address for name, venue in self.venues.items()}
+
+
+def build_standard_marketplaces(
+    chain: Chain,
+    labels: LabelRegistry,
+    registry: ContractRegistry,
+    looks_daily_emission: float = 500_000.0,
+    rari_daily_emission: float = 12_000.0,
+    reward_start_day: int = 0,
+) -> DeployedMarketplaces:
+    """Deploy the six venues, their reward tokens and distributors.
+
+    Marketplace contracts, reward tokens, distributors and treasuries are
+    labelled so the refinement and profitability stages can recognise
+    them the same way the paper does through Etherscan.
+    """
+    venues: Dict[str, Marketplace] = {
+        "OpenSea": OpenSea(),
+        "LooksRare": LooksRare(),
+        "Rarible": Rarible(),
+        "SuperRare": SuperRare(),
+        "Foundation": Foundation(),
+        "Decentraland": Decentraland(),
+    }
+    reward_tokens: Dict[str, ERC20Token] = {}
+    reward_distributors: Dict[str, RewardDistributor] = {}
+    reward_token_addresses: Dict[str, str] = {}
+    distributor_addresses: Dict[str, str] = {}
+
+    for name, venue in venues.items():
+        address = chain.deploy_contract(venue)
+        registry.register(address, kind="marketplace", name=name)
+        labels.add(address, "marketplace", name=name)
+        labels.add(venue.treasury_address, "treasury", name=f"{name} Treasury")
+        if venue.escrow_address:
+            # Escrow wallets are venue-operated EOAs; Etherscan labels them
+            # under the venue, which the paper's service list covers.  They
+            # pay gas for operator approvals and releases, so the venue
+            # endows them with a little ETH.
+            labels.add(venue.escrow_address, "cefi", name=f"{name} Escrow")
+            chain.faucet(venue.escrow_address, 100 * 10**18)
+
+    reward_specs = {
+        "LooksRare": ("LooksRare Token", "LOOKS", looks_daily_emission),
+        "Rarible": ("Rarible Token", "RARI", rari_daily_emission),
+    }
+    for venue_name, (token_name, symbol, emission) in reward_specs.items():
+        token = ERC20Token(name=token_name, symbol=symbol)
+        token_address = chain.deploy_contract(token)
+        registry.register(token_address, kind="erc20", name=symbol)
+        labels.add(token_address, "reward-token", name=symbol)
+
+        program = RewardProgram(
+            venue_name=venue_name,
+            token=token,
+            schedule=RewardSchedule(daily_emission=emission, start_day=reward_start_day),
+        )
+        venues[venue_name].attach_reward_program(program)
+
+        distributor = RewardDistributor(program)
+        distributor_address = chain.deploy_contract(distributor)
+        registry.register(
+            distributor_address, kind="reward-distributor", name=f"{venue_name} Rewards"
+        )
+        labels.add(distributor_address, "reward-distributor", name=f"{venue_name} Rewards")
+
+        reward_tokens[venue_name] = token
+        reward_distributors[venue_name] = distributor
+        reward_token_addresses[venue_name] = token_address
+        distributor_addresses[venue_name] = distributor_address
+
+    return DeployedMarketplaces(
+        venues=venues,
+        reward_tokens=reward_tokens,
+        reward_distributors=reward_distributors,
+        reward_token_addresses=reward_token_addresses,
+        distributor_addresses=distributor_addresses,
+    )

@@ -1,0 +1,33 @@
+"""Ecosystem services around the NFT market.
+
+These are the parts of the Ethereum ecosystem the paper's pipeline has
+to be aware of without studying them directly: centralized exchanges and
+CeFi services (whose hot wallets must be stripped from transaction
+graphs), DeFi contracts (DEX pools used to swap reward tokens, flash
+loans, position NFTs), the Etherscan-style label registry used for that
+stripping, and the USD price oracle used by the profitability analysis.
+"""
+
+from repro.services.labels import LabelRegistry, SERVICE_LABELS
+from repro.services.oracle import PriceOracle, PriceSeries
+from repro.services.exchanges import CentralizedExchange
+from repro.services.defi import (
+    ConstantProductPool,
+    FlashLoanProvider,
+    OTCSwapDesk,
+    PositionNFTVault,
+)
+from repro.services.games import NFTStakingGame
+
+__all__ = [
+    "LabelRegistry",
+    "SERVICE_LABELS",
+    "PriceOracle",
+    "PriceSeries",
+    "CentralizedExchange",
+    "ConstantProductPool",
+    "FlashLoanProvider",
+    "OTCSwapDesk",
+    "PositionNFTVault",
+    "NFTStakingGame",
+]

@@ -1,0 +1,263 @@
+"""DeFi services: a constant-product DEX pool, a flash-loan provider and
+a UniswapV3-style position-NFT vault.
+
+* The DEX pool is where reward farmers swap the LOOKS / RARI tokens they
+  claim back into ETH (the paper notes wash traders "can swap the reward
+  coins for other tokens using, for example, an exchange such as
+  Uniswap").
+* The flash-loan provider backs the paper's discussion point that wash
+  trading does not require capital: the volume can be financed by a loan
+  repaid in the same transaction.
+* The position-NFT vault reproduces the UniswapV3 distractor described
+  in Sec. III-B: an ERC-721 collection whose mints/redeems carry large
+  ETH value but have nothing to do with collectible trading.  The paper
+  keeps them in the dataset but they must not surface as wash trading.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.chain.errors import ContractExecutionError
+from repro.chain.types import Call
+from repro.contracts.base import Contract
+from repro.contracts.erc20 import ERC20Token
+from repro.contracts.erc721 import ERC721Collection
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.chain.context import TxContext
+
+
+class ConstantProductPool(Contract):
+    """A Uniswap-V2-style token/ETH pool with the x*y=k pricing rule."""
+
+    EXPOSED_FUNCTIONS = {"swapTokenForEth", "swapEthForToken"}
+    VIEW_FUNCTIONS = {"supportsInterface", "quoteTokenToEth", "quoteEthToToken", "reserves"}
+
+    def __init__(self, token: ERC20Token, fee_bps: int = 30) -> None:
+        super().__init__()
+        self.token = token
+        self.fee_bps = fee_bps
+        self.token_reserve = 0
+        self.eth_reserve_wei = 0
+
+    # -- liquidity management (simulation-side, not a transaction) ------------
+    def seed_liquidity(self, token_amount: int, eth_amount_wei: int, chain) -> None:
+        """Provision initial reserves.
+
+        ETH is faucet-minted to the pool address and tokens are credited
+        directly; a full LP-share model is out of scope because no result
+        depends on it.
+        """
+        self.token_reserve += token_amount
+        self.eth_reserve_wei += eth_amount_wei
+        chain.faucet(self.bound_address, eth_amount_wei)
+        self.token._balances[self.bound_address] += token_amount  # noqa: SLF001 - deliberate back-door for seeding
+
+    # -- views ------------------------------------------------------------------
+    def reserves(self) -> Dict[str, int]:
+        """Current reserves."""
+        return {"token": self.token_reserve, "eth_wei": self.eth_reserve_wei}
+
+    def quoteTokenToEth(self, token_amount: int) -> int:
+        """ETH (wei) returned for selling ``token_amount`` tokens."""
+        if self.token_reserve <= 0 or self.eth_reserve_wei <= 0:
+            return 0
+        amount_after_fee = token_amount * (10_000 - self.fee_bps) // 10_000
+        new_token_reserve = self.token_reserve + amount_after_fee
+        new_eth_reserve = self.token_reserve * self.eth_reserve_wei // new_token_reserve
+        return self.eth_reserve_wei - new_eth_reserve
+
+    def quoteEthToToken(self, eth_amount_wei: int) -> int:
+        """Tokens returned for selling ``eth_amount_wei`` of ETH."""
+        if self.token_reserve <= 0 or self.eth_reserve_wei <= 0:
+            return 0
+        amount_after_fee = eth_amount_wei * (10_000 - self.fee_bps) // 10_000
+        new_eth_reserve = self.eth_reserve_wei + amount_after_fee
+        new_token_reserve = self.token_reserve * self.eth_reserve_wei // new_eth_reserve
+        return self.token_reserve - new_token_reserve
+
+    # -- swaps ---------------------------------------------------------------------
+    def swapTokenForEth(self, ctx: "TxContext", amount: int) -> int:
+        """Sell reward tokens for ETH; returns the ETH (wei) paid out."""
+        trader = ctx.caller
+        ctx.require(amount > 0, "swap amount must be positive")
+        ctx.require(
+            self.token.balanceOf(trader) >= amount,
+            f"{trader} holds fewer than {amount} tokens",
+        )
+        eth_out = self.quoteTokenForEthSafe(amount)
+        ctx.require(eth_out > 0, "swap output rounds to zero")
+        ctx.require(eth_out < self.eth_reserve_wei, "insufficient pool liquidity")
+        self.token.transfer_internal(ctx, trader, self.bound_address, amount)
+        ctx.transfer(self.bound_address, trader, eth_out)
+        self.token_reserve += amount
+        self.eth_reserve_wei -= eth_out
+        return eth_out
+
+    def quoteTokenForEthSafe(self, amount: int) -> int:
+        """Quote helper that never raises (returns 0 for empty pools)."""
+        return self.quoteTokenToEth(amount)
+
+    def swapEthForToken(self, ctx: "TxContext") -> int:
+        """Buy reward tokens with the ETH attached to the transaction."""
+        trader = ctx.caller
+        eth_in = ctx.value_wei
+        ctx.require(eth_in > 0, "attach ETH to buy tokens")
+        token_out = self.quoteEthToToken(eth_in)
+        ctx.require(token_out > 0, "swap output rounds to zero")
+        self.token.transfer_internal(ctx, self.bound_address, trader, token_out)
+        self.eth_reserve_wei += eth_in
+        self.token_reserve -= token_out
+        return token_out
+
+
+class FlashLoanProvider(Contract):
+    """An AAVE-style flash-loan pool.
+
+    ``flashLoan`` transfers ETH to a receiver contract, invokes its
+    callback, and requires principal plus fee back before the transaction
+    ends -- all within one transaction, which is what makes wash-trading
+    volume essentially free of capital requirements (paper, Sec. IX).
+    """
+
+    EXPOSED_FUNCTIONS = {"flashLoan"}
+    VIEW_FUNCTIONS = {"supportsInterface", "liquidity"}
+
+    def __init__(self, fee_bps: int = 9) -> None:
+        super().__init__()
+        self.fee_bps = fee_bps
+        self._liquidity_wei = 0
+
+    def seed_liquidity(self, amount_wei: int, chain) -> None:
+        """Provision lendable ETH (faucet-minted to the pool address)."""
+        self._liquidity_wei += amount_wei
+        chain.faucet(self.bound_address, amount_wei)
+
+    def liquidity(self) -> int:
+        """Lendable ETH currently in the pool, in wei."""
+        return self._liquidity_wei
+
+    def flashLoan(
+        self,
+        ctx: "TxContext",
+        receiver: str,
+        amount_wei: int,
+        callback: str,
+        callback_args: Optional[dict] = None,
+    ) -> None:
+        """Lend ``amount_wei`` to ``receiver`` for the duration of the call.
+
+        ``receiver`` must be a contract exposing ``callback``; after the
+        callback returns, principal plus fee must be back in the pool or
+        the whole transaction reverts.
+        """
+        ctx.require(amount_wei > 0, "loan amount must be positive")
+        ctx.require(amount_wei <= self._liquidity_wei, "insufficient loan liquidity")
+        fee_wei = amount_wei * self.fee_bps // 10_000
+        pool = self.bound_address
+        balance_before = ctx.chain.state.balance_of(pool)
+
+        ctx.transfer(pool, receiver, amount_wei)
+        ctx.call_contract(receiver, Call(callback, dict(callback_args or {})))
+
+        balance_after = ctx.chain.state.balance_of(pool)
+        if balance_after < balance_before + fee_wei:
+            raise ContractExecutionError(
+                pool, "flashLoan", "loan not repaid with fee within the transaction"
+            )
+        self._liquidity_wei += fee_wei
+
+
+class OTCSwapDesk(Contract):
+    """A trust-minimised over-the-counter NFT swap contract.
+
+    The buyer calls :meth:`swap` attaching the agreed price; in a single
+    transaction the contract forwards the payment to the seller and moves
+    the NFT to the buyer (the seller must have approved the desk as an
+    operator beforehand).  There is no venue fee, so a group of colluders
+    trading through the desk keeps a textbook zero-risk position -- the
+    off-market wash trades the paper's zero-risk technique catches.
+    """
+
+    EXPOSED_FUNCTIONS = {"swap"}
+    VIEW_FUNCTIONS = {"supportsInterface", "completedSwaps"}
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._completed = 0
+
+    def completedSwaps(self) -> int:
+        """Number of swaps executed through the desk."""
+        return self._completed
+
+    def swap(
+        self, ctx: "TxContext", collection: str, token_id: int, seller: str, price_wei: int
+    ) -> None:
+        """Atomically exchange the attached ETH for the seller's NFT."""
+        buyer = ctx.caller
+        ctx.require(ctx.value_wei == price_wei, "attached value must equal the price")
+        nft_contract = ctx.chain.state.contract_at(collection)
+        ctx.require(
+            nft_contract is not None and hasattr(nft_contract, "ownerOf"),
+            f"{collection} is not an NFT collection",
+        )
+        ctx.require(
+            nft_contract.ownerOf(token_id) == seller,
+            f"{seller} does not own token {token_id}",
+        )
+        ctx.call_contract(
+            collection,
+            Call(
+                "transferFrom",
+                {"sender": seller, "to": buyer, "token_id": token_id},
+            ),
+        )
+        if price_wei:
+            ctx.transfer(self.bound_address, seller, price_wei)
+        self._completed += 1
+
+
+class PositionNFTVault(Contract):
+    """A UniswapV3-style vault minting an NFT for every liquidity deposit.
+
+    Deposits lock ETH and mint a position NFT; redeeming burns the NFT
+    and returns the ETH.  These NFTs inflate raw ERC-721 volume exactly
+    like UniswapV3 does in the paper's dataset (91% of raw volume) while
+    being irrelevant to wash trading.
+    """
+
+    EXPOSED_FUNCTIONS = {"deposit", "redeem"}
+    VIEW_FUNCTIONS = {"supportsInterface", "lockedValue"}
+
+    def __init__(self, positions: ERC721Collection) -> None:
+        super().__init__()
+        self.positions = positions
+        self._locked_by_token: Dict[int, int] = {}
+        self._locked_total_wei = 0
+
+    def lockedValue(self) -> int:
+        """Total ETH locked in open positions, in wei."""
+        return self._locked_total_wei
+
+    def deposit(self, ctx: "TxContext") -> int:
+        """Lock the attached ETH and mint a position NFT to the caller."""
+        depositor = ctx.caller
+        amount = ctx.value_wei
+        ctx.require(amount > 0, "attach ETH to open a position")
+        token_id = self.positions.mint(ctx, to=depositor)
+        self._locked_by_token[token_id] = amount
+        self._locked_total_wei += amount
+        return token_id
+
+    def redeem(self, ctx: "TxContext", token_id: int) -> None:
+        """Burn a position NFT and return the locked ETH to its owner."""
+        owner = self.positions.ownerOf(token_id)
+        ctx.require(owner is not None, f"position {token_id} does not exist")
+        ctx.require(owner == ctx.caller, "only the position owner can redeem")
+        locked = self._locked_by_token.pop(token_id, 0)
+        # Move the NFT back to the vault before conceptually burning it, so
+        # the transfer trail ends at a contract rather than dangling.
+        self.positions.transferFrom(ctx, sender=owner, to=self.bound_address, token_id=token_id)
+        ctx.transfer(self.bound_address, owner, locked)
+        self._locked_total_wei -= locked

@@ -1,0 +1,64 @@
+"""NFT-based games and staking services.
+
+These contracts exist to stress the refinement step: staking an NFT into
+a game and pulling it back creates a strongly connected component between
+the user and the game contract -- a false positive that the paper removes
+by discarding every account holding bytecode.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Tuple
+
+from repro.chain.types import Call
+from repro.contracts.base import Contract
+from repro.contracts.erc721 import ERC721Collection
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.chain.context import TxContext
+
+
+class NFTStakingGame(Contract):
+    """A play-to-earn style game where users stake NFTs and pull them back."""
+
+    EXPOSED_FUNCTIONS = {"stake", "unstake"}
+    VIEW_FUNCTIONS = {"supportsInterface", "stakedCount"}
+
+    def __init__(self, name: str) -> None:
+        super().__init__()
+        self.game_name = name
+        self._staked_by: Dict[Tuple[str, int], str] = {}
+
+    def stakedCount(self) -> int:
+        """Number of NFTs currently staked in the game."""
+        return len(self._staked_by)
+
+    def stake(self, ctx: "TxContext", collection: str, token_id: int) -> None:
+        """Pull the caller's NFT into the game contract."""
+        nft_contract = ctx.chain.state.contract_at(collection)
+        ctx.require(isinstance(nft_contract, ERC721Collection), "not an NFT collection")
+        ctx.require(
+            nft_contract.ownerOf(token_id) == ctx.caller,
+            "only the owner can stake an NFT",
+        )
+        ctx.call_contract(
+            collection,
+            Call(
+                "transferFrom",
+                {"sender": ctx.caller, "to": self.bound_address, "token_id": token_id},
+            ),
+        )
+        self._staked_by[(collection, token_id)] = ctx.caller
+
+    def unstake(self, ctx: "TxContext", collection: str, token_id: int) -> None:
+        """Return a staked NFT to the account that staked it."""
+        staker = self._staked_by.get((collection, token_id))
+        ctx.require(staker == ctx.caller, "only the staker can unstake")
+        ctx.call_contract(
+            collection,
+            Call(
+                "transferFrom",
+                {"sender": self.bound_address, "to": staker, "token_id": token_id},
+            ),
+        )
+        del self._staked_by[(collection, token_id)]

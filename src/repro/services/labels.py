@@ -1,0 +1,87 @@
+"""An Etherscan-style address label registry.
+
+The paper removes from the transaction graphs every EOA labelled by
+Etherscan as an Exchange, CeFi service or game, plus the null address,
+because such high-fan-out accounts create strongly connected components
+that have nothing to do with wash trading.  The reproduction gets the
+same information from this registry, which the simulation populates as
+it creates service accounts.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Set
+
+from repro.chain.types import NULL_ADDRESS
+
+#: Labels whose holders are stripped from transaction graphs during the
+#: refinement step (the paper's "Exchanges, CeFi, and games" list).
+SERVICE_LABELS = frozenset({"exchange", "cefi", "game"})
+
+#: Labels identifying DeFi-ish services; common-funder / common-exit
+#: confirmation ignores funders and exits carrying one of these (or a
+#: service label), because relationships through them are not evidence
+#: of collusion.
+FINANCIAL_SERVICE_LABELS = frozenset({"exchange", "cefi", "defi", "dex", "lending"})
+
+
+class LabelRegistry:
+    """Maps addresses to free-form labels, mimicking the Etherscan label cloud."""
+
+    def __init__(self) -> None:
+        self._labels: Dict[str, Set[str]] = defaultdict(set)
+        self._names: Dict[str, str] = {}
+
+    # -- population ---------------------------------------------------------
+    def add(self, address: str, label: str, name: str = "") -> None:
+        """Attach a label (and optionally a display name) to an address."""
+        self._labels[address].add(label)
+        if name:
+            self._names[address] = name
+
+    def add_many(self, addresses: Iterable[str], label: str) -> None:
+        """Attach the same label to several addresses."""
+        for address in addresses:
+            self.add(address, label)
+
+    # -- queries -----------------------------------------------------------
+    def labels_of(self, address: str) -> Set[str]:
+        """All labels attached to an address (empty set if unlabelled)."""
+        return set(self._labels.get(address, ()))
+
+    def name_of(self, address: str, default: str = "") -> str:
+        """Display name of an address, if registered."""
+        return self._names.get(address, default)
+
+    def has_label(self, address: str, label: str) -> bool:
+        """True if the address carries the given label."""
+        return label in self._labels.get(address, ())
+
+    def is_graph_excluded_service(self, address: str) -> bool:
+        """True if the address must be stripped from transaction graphs.
+
+        This is the paper's refinement rule: Etherscan Exchange / CeFi /
+        game accounts plus the null address.
+        """
+        if address == NULL_ADDRESS:
+            return True
+        return bool(self._labels.get(address, set()) & SERVICE_LABELS)
+
+    def is_financial_service(self, address: str) -> bool:
+        """True if the address is an exchange or DeFi service.
+
+        Used by the common-funder / common-exit detectors, which do not
+        accept such accounts as evidence of collusion.
+        """
+        return bool(self._labels.get(address, set()) & FINANCIAL_SERVICE_LABELS)
+
+    def addresses_with_label(self, label: str) -> list[str]:
+        """All addresses carrying the given label."""
+        return [address for address, labels in self._labels.items() if label in labels]
+
+    def __len__(self) -> int:
+        return len(self._labels)
+
+    def __contains__(self, address: str) -> bool:
+        return address in self._labels

@@ -1,0 +1,24 @@
+"""Synthetic workload generation.
+
+The paper measures behaviours on the real Ethereum history; this package
+plants the same behaviours -- legitimate collecting and flipping, reward
+farming on LooksRare/Rarible, resale pumping on OpenSea, self-trades,
+rarity games, serial wash traders, plus the distractors that stress the
+refinement steps -- into a deterministic synthetic world built on the
+:mod:`repro.chain` substrate, with ground-truth labels for every planted
+activity.
+"""
+
+from repro.simulation.config import SimulationConfig
+from repro.simulation.ground_truth import GroundTruth, PlannedActivity
+from repro.simulation.world import World
+from repro.simulation.builder import WorldBuilder, build_default_world
+
+__all__ = [
+    "SimulationConfig",
+    "GroundTruth",
+    "PlannedActivity",
+    "World",
+    "WorldBuilder",
+    "build_default_world",
+]

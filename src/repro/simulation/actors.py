@@ -1,0 +1,298 @@
+"""The trading kit: the on-chain action vocabulary of the generator.
+
+Every scenario (legitimate or wash) is expressed as a sequence of kit
+calls; the kit translates them into chain transactions with timestamps
+from the global :class:`~repro.simulation.timeline.TimeAllocator`, takes
+care of operator approvals, and keeps small bookkeeping caches so the
+scenarios stay readable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set, Tuple
+
+from repro.chain.chain import Chain
+from repro.chain.transaction import Transaction
+from repro.chain.types import Call
+from repro.contracts.erc721 import ERC721Collection
+from repro.marketplaces.venues import DeployedMarketplaces
+from repro.services.exchanges import CentralizedExchange
+from repro.services.labels import LabelRegistry
+from repro.simulation.timeline import TimeAllocator
+from repro.utils.currency import eth_to_wei
+from repro.utils.rng import DeterministicRNG
+
+
+class TradingKit:
+    """High-level on-chain actions used by the workload scenarios."""
+
+    def __init__(
+        self,
+        chain: Chain,
+        marketplaces: DeployedMarketplaces,
+        collections: Dict[str, ERC721Collection],
+        exchanges: list[CentralizedExchange],
+        labels: LabelRegistry,
+        clock: TimeAllocator,
+        rng: DeterministicRNG,
+        otc_desk_address: Optional[str] = None,
+    ) -> None:
+        self.chain = chain
+        self.marketplaces = marketplaces
+        self.collections = collections
+        self.exchanges = exchanges
+        self.labels = labels
+        self.clock = clock
+        self.rng = rng
+        self.otc_desk_address = otc_desk_address
+        self._approved: Set[Tuple[str, str, str]] = set()
+        self._account_serial = 0
+
+    # -- accounts and funding --------------------------------------------------
+    def new_account(self, role: str = "trader") -> str:
+        """Create a fresh EOA address."""
+        self._account_serial += 1
+        return self.rng.address(role, self._account_serial)
+
+    def pick_exchange(self) -> CentralizedExchange:
+        """Pick one of the deployed exchanges."""
+        return self.rng.choice(self.exchanges)
+
+    def fund_from_exchange(
+        self, account: str, amount_eth: float, day: int, exchange: Optional[CentralizedExchange] = None
+    ) -> Transaction:
+        """Fund an account with an exchange withdrawal."""
+        exchange = exchange or self.pick_exchange()
+        timestamp = self.clock.next_timestamp(day)
+        return exchange.withdraw_to(account, eth_to_wei(amount_eth), timestamp)
+
+    def transfer_eth(self, sender: str, recipient: str, amount_eth: float, day: int) -> Transaction:
+        """Plain ETH transfer between two EOAs."""
+        timestamp = self.clock.next_timestamp(day)
+        return self.chain.transact(
+            sender=sender,
+            to=recipient,
+            value_wei=eth_to_wei(amount_eth),
+            timestamp=timestamp,
+        )
+
+    def deposit_to_exchange(
+        self, account: str, amount_eth: float, day: int, exchange: Optional[CentralizedExchange] = None
+    ) -> Transaction:
+        """Send ETH from an account back to an exchange hot wallet."""
+        exchange = exchange or self.pick_exchange()
+        timestamp = self.clock.next_timestamp(day)
+        return exchange.deposit_from(account, eth_to_wei(amount_eth), timestamp)
+
+    def balance_eth(self, account: str) -> float:
+        """Current ETH balance of an account."""
+        return self.chain.state.balance_of(account) / 10**18
+
+    # -- NFT primitives -----------------------------------------------------------
+    def collection_contract(self, collection_address: str) -> ERC721Collection:
+        """The deployed collection object behind an address."""
+        return self.collections[collection_address]
+
+    def mint(self, collection_address: str, to: str, day: int) -> int:
+        """Mint a fresh NFT to ``to`` (the recipient signs and pays gas)."""
+        timestamp = self.clock.next_timestamp(day)
+        tx = self.chain.transact(
+            sender=to,
+            to=collection_address,
+            call=Call("mint", {"to": to}),
+            timestamp=timestamp,
+        )
+        # The token id is recoverable from the emitted Transfer log.
+        for log in tx.logs:
+            if log.is_erc721_transfer and log.address == collection_address:
+                return int(log.topics[3], 16)
+        raise RuntimeError("mint transaction emitted no Transfer event")
+
+    def owner_of(self, collection_address: str, token_id: int) -> Optional[str]:
+        """Current owner of an NFT."""
+        return self.collection_contract(collection_address).ownerOf(token_id)
+
+    def ensure_approval(
+        self, owner: str, collection_address: str, operator: str, day: int
+    ) -> None:
+        """Issue a ``setApprovalForAll`` transaction if not already granted."""
+        key = (owner, collection_address, operator)
+        if key in self._approved:
+            return
+        timestamp = self.clock.next_timestamp(day)
+        self.chain.transact(
+            sender=owner,
+            to=collection_address,
+            call=Call("setApprovalForAll", {"operator": operator, "approved": True}),
+            timestamp=timestamp,
+        )
+        self._approved.add(key)
+
+    def direct_transfer(
+        self,
+        collection_address: str,
+        token_id: int,
+        sender: str,
+        recipient: str,
+        day: int,
+        attached_value_eth: float = 0.0,
+    ) -> Transaction:
+        """Move an NFT outside any marketplace (optionally attaching ETH)."""
+        timestamp = self.clock.next_timestamp(day)
+        return self.chain.transact(
+            sender=sender,
+            to=collection_address,
+            value_wei=eth_to_wei(attached_value_eth),
+            call=Call(
+                "transferFrom",
+                {"sender": sender, "to": recipient, "token_id": token_id},
+            ),
+            timestamp=timestamp,
+        )
+
+    # -- marketplace trades -----------------------------------------------------------
+    def marketplace_sale(
+        self,
+        venue_name: str,
+        collection_address: str,
+        token_id: int,
+        seller: str,
+        buyer: str,
+        price_eth: float,
+        day: int,
+    ) -> Transaction:
+        """Execute one marketplace sale (buyer signs, attaches the price)."""
+        venue = self.marketplaces.venue(venue_name)
+        venue_address = venue.bound_address
+        if venue.uses_escrow:
+            self._ensure_escrowed(venue_name, collection_address, token_id, seller, day)
+            self.ensure_approval(venue.escrow_address, collection_address, venue_address, day)
+        else:
+            self.ensure_approval(seller, collection_address, venue_address, day)
+        timestamp = self.clock.next_timestamp(day)
+        return self.chain.transact(
+            sender=buyer,
+            to=venue_address,
+            value_wei=eth_to_wei(price_eth),
+            call=Call(
+                "buy",
+                {
+                    "collection": collection_address,
+                    "token_id": token_id,
+                    "seller": seller,
+                    "price_wei": eth_to_wei(price_eth),
+                },
+            ),
+            timestamp=timestamp,
+        )
+
+    def _ensure_escrowed(
+        self, venue_name: str, collection_address: str, token_id: int, seller: str, day: int
+    ) -> None:
+        """Deposit an NFT into a venue's escrow if it is not already there."""
+        venue = self.marketplaces.venue(venue_name)
+        owner = self.owner_of(collection_address, token_id)
+        if owner == venue.escrow_address:
+            return
+        self.ensure_approval(seller, collection_address, venue.bound_address, day)
+        timestamp = self.clock.next_timestamp(day)
+        self.chain.transact(
+            sender=seller,
+            to=venue.bound_address,
+            call=Call(
+                "depositToEscrow",
+                {"collection": collection_address, "token_id": token_id},
+            ),
+            timestamp=timestamp,
+        )
+
+    def p2p_trade(
+        self,
+        collection_address: str,
+        token_id: int,
+        seller: str,
+        buyer: str,
+        price_eth: float,
+        day: int,
+    ) -> Tuple[Transaction, Transaction]:
+        """An off-market paid trade: a payment transfer plus the NFT transfer."""
+        payment = self.transfer_eth(buyer, seller, price_eth, day)
+        transfer = self.direct_transfer(collection_address, token_id, seller, buyer, day)
+        return payment, transfer
+
+    def otc_trade(
+        self,
+        collection_address: str,
+        token_id: int,
+        seller: str,
+        buyer: str,
+        price_eth: float,
+        day: int,
+    ) -> Transaction:
+        """An atomic off-market trade through the OTC swap desk contract."""
+        if self.otc_desk_address is None:
+            raise RuntimeError("no OTC swap desk deployed in this world")
+        self.ensure_approval(seller, collection_address, self.otc_desk_address, day)
+        timestamp = self.clock.next_timestamp(day)
+        return self.chain.transact(
+            sender=buyer,
+            to=self.otc_desk_address,
+            value_wei=eth_to_wei(price_eth),
+            call=Call(
+                "swap",
+                {
+                    "collection": collection_address,
+                    "token_id": token_id,
+                    "seller": seller,
+                    "price_wei": eth_to_wei(price_eth),
+                },
+            ),
+            timestamp=timestamp,
+        )
+
+    def self_trade(
+        self,
+        collection_address: str,
+        token_id: int,
+        owner: str,
+        day: int,
+        attached_value_eth: float,
+    ) -> Transaction:
+        """Transfer an NFT from an account to itself, attaching ETH as fake volume."""
+        return self.direct_transfer(
+            collection_address,
+            token_id,
+            sender=owner,
+            recipient=owner,
+            day=day,
+            attached_value_eth=attached_value_eth,
+        )
+
+    # -- reward machinery -----------------------------------------------------------------
+    def pending_rewards(self, venue_name: str, account: str, day: int) -> int:
+        """Token units claimable by ``account`` on ``day`` (0 for non-reward venues)."""
+        distributor = self.marketplaces.reward_distributors.get(venue_name)
+        if distributor is None:
+            return 0
+        from repro.utils.timeutil import day_of
+
+        probe_ts = self.clock.day_start(day)
+        return distributor.program.pending_rewards(account, day_of(probe_ts))
+
+    def claim_rewards(self, venue_name: str, account: str, day: int) -> Optional[Transaction]:
+        """Claim pending reward tokens (no-op if nothing is claimable)."""
+        if self.pending_rewards(venue_name, account, day) <= 0:
+            return None
+        distributor_address = self.marketplaces.distributor_addresses[venue_name]
+        timestamp = self.clock.next_timestamp(day)
+        return self.chain.transact(
+            sender=account,
+            to=distributor_address,
+            call=Call("claim", {}),
+            timestamp=timestamp,
+        )
+
+    def reward_token_balance(self, venue_name: str, account: str) -> int:
+        """Reward-token units currently held by ``account``."""
+        token = self.marketplaces.reward_tokens.get(venue_name)
+        return token.balanceOf(account) if token else 0

@@ -1,0 +1,237 @@
+"""Simulation parameters.
+
+The default configuration is calibrated so a pipeline run over the
+generated world reproduces the *shape* of the paper's findings at a
+laptop-friendly scale (a few thousand NFTs rather than 34 million):
+
+* LooksRare hosts few but enormous reward-farming operations, so it
+  dominates wash *volume* while OpenSea dominates wash *operation count*.
+* Foundation's 15% fee keeps wash trading away from it entirely.
+* Around 60% of activities are two-account round trips, ~20% use three
+  accounts, and a small share are self-trades.
+* Most activities are short (many within a day, most within ten days)
+  and start close to the creation of the targeted collection.
+* A minority of "professional" accounts participates in a majority of
+  activities (serial wash traders).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass
+class WashMix:
+    """How many activities of each kind to plant."""
+
+    looksrare_reward_farms: int = 36
+    rarible_reward_farms: int = 12
+    opensea_resale_pumps: int = 60
+    opensea_small_washes: int = 70
+    superrare_washes: int = 4
+    decentraland_washes: int = 3
+    self_trades: int = 16
+    rarity_games: int = 5
+    zero_volume_shuffles: int = 25
+    offmarket_p2p_washes: int = 18
+
+    @property
+    def total_planted(self) -> int:
+        """Planted activities that should survive refinement."""
+        return (
+            self.looksrare_reward_farms
+            + self.rarible_reward_farms
+            + self.opensea_resale_pumps
+            + self.opensea_small_washes
+            + self.superrare_washes
+            + self.decentraland_washes
+            + self.self_trades
+            + self.rarity_games
+            + self.offmarket_p2p_washes
+        )
+
+
+@dataclass
+class SimulationConfig:
+    """Every knob of the synthetic world."""
+
+    seed: int = 42
+    #: Length of the simulated trading history, in days.
+    duration_days: int = 150
+    #: Day (relative to the simulation start) on which marketplaces and
+    #: their reward programs go live.
+    marketplace_launch_day: int = 0
+
+    # -- population -----------------------------------------------------------
+    legit_collections: int = 24
+    wash_target_collections: int = 12
+    nfts_per_collection: Tuple[int, int] = (20, 60)
+    legit_traders: int = 220
+    legit_sales_per_day: int = 40
+    #: Fraction of legitimate sales happening on each venue.
+    venue_popularity: Dict[str, float] = field(
+        default_factory=lambda: {
+            "OpenSea": 0.62,
+            "LooksRare": 0.10,
+            "Rarible": 0.08,
+            "SuperRare": 0.07,
+            "Foundation": 0.07,
+            "Decentraland": 0.06,
+        }
+    )
+    #: Price range (ETH) of legitimate sales (log-uniform).
+    legit_price_range_eth: Tuple[float, float] = (0.02, 12.0)
+    #: Venue-specific price multipliers for legitimate sales.  LooksRare
+    #: specialises in expensive NFTs (the paper notes its high per-trade
+    #: value), so its legitimate trades are scaled up.
+    venue_price_multiplier: Dict[str, float] = field(
+        default_factory=lambda: {
+            "OpenSea": 8.0,
+            "LooksRare": 120.0,
+            "Rarible": 12.0,
+            "SuperRare": 8.0,
+            "Foundation": 2.0,
+            "Decentraland": 4.0,
+        }
+    )
+    #: Funding ranges (ETH) for ordinary legitimate traders and whales.
+    trader_funding_range_eth: Tuple[float, float] = (8.0, 60.0)
+    whale_funding_range_eth: Tuple[float, float] = (800.0, 4000.0)
+    whale_trader_fraction: float = 0.08
+    #: How many NFTs each active collection mints per day (until full).
+    mints_per_collection_per_day: int = 2
+
+    # -- wash trading -------------------------------------------------------------
+    wash_mix: WashMix = field(default_factory=WashMix)
+    #: Price range (ETH) of a LooksRare reward-farming trade leg.
+    looksrare_leg_price_eth: Tuple[float, float] = (150.0, 1200.0)
+    #: Trade legs per reward-farming operation.
+    reward_farm_rounds: Tuple[int, int] = (4, 10)
+    #: Price range (ETH) of Rarible farming legs.
+    rarible_leg_price_eth: Tuple[float, float] = (0.3, 3.0)
+    #: Price range (ETH) of OpenSea pump legs (the pump multiplies these).
+    opensea_pump_start_price_eth: Tuple[float, float] = (0.15, 0.9)
+    opensea_pump_multiplier: Tuple[float, float] = (1.6, 4.5)
+    #: Probability that a pumped NFT finds an external buyer at all.
+    resale_success_probability: float = 0.62
+    #: Probability that a small wash is followed by an external sale.
+    small_wash_resale_probability: float = 0.25
+    #: Resale price of a small wash, as a multiple of its trading price.
+    small_wash_resale_uplift: Tuple[float, float] = (0.9, 1.8)
+    #: Probability that, conditioned on being sold, the resale covers costs.
+    resale_profitable_probability: float = 0.45
+    #: Probability that a reward farmer never claims its tokens.
+    reward_unclaimed_probability: float = 0.14
+    #: Probability that a reward-farming operation fails (e.g. volume too
+    #: small relative to the venue's total that day).
+    reward_failure_probability: float = 0.18
+    #: Probability a wash group is funded through an exchange instead of a
+    #: direct common funder (hides the funder; the exit still gives it away).
+    funded_via_exchange_probability: float = 0.22
+    #: Probability the group cashes out to a common exit account.
+    common_exit_probability: float = 0.85
+    #: Probability an off-market P2P wash uses fully circulating payments
+    #: (making it a textbook zero-risk position).
+    zero_risk_p2p_probability: float = 0.8
+    #: Share of wash activities executed by the reusable "professional"
+    #: account pool (creates serial wash traders).
+    serial_pool_probability: float = 0.70
+    serial_pool_size: int = 42
+    #: Distribution of the number of colluding accounts (Fig. 6 / Fig. 7).
+    account_count_weights: Dict[int, float] = field(
+        default_factory=lambda: {2: 0.62, 3: 0.20, 4: 0.10, 5: 0.05, 6: 0.03}
+    )
+    #: Maximum days between the creation of a wash-target collection and
+    #: the start of the activities targeting it (Fig. 5 clustering).
+    wash_near_creation_days: int = 18
+    #: Lifetime (days) buckets of wash activities: (max_days, weight).
+    lifetime_buckets: Tuple[Tuple[float, float], ...] = (
+        (1.0, 0.12),
+        (4.0, 0.13),
+        (9.0, 0.15),
+        (30.0, 0.35),
+        (100.0, 0.25),
+    )
+    #: Probability that a reward-farming burst completes within a single day.
+    reward_farm_single_day_probability: float = 0.45
+
+    # -- distractors -----------------------------------------------------------------
+    position_vault_deposits: int = 40
+    erc1155_transfers: int = 30
+    noncompliant_contracts: int = 2
+    noncompliant_transfers: int = 25
+    exchange_churn_users: int = 25
+    #: NFTs routed through an exchange hot wallet and back (service-account noise).
+    service_account_cycles: int = 12
+    #: NFTs cycled through a game/DeFi contract (contract-account noise).
+    contract_account_cycles: int = 10
+
+    # -- reward emissions ----------------------------------------------------------------
+    looks_daily_emission: float = 500_000.0
+    rari_daily_emission: float = 3_000.0
+
+    # -- derived helpers -------------------------------------------------------------------
+    @classmethod
+    def small(cls, seed: int = 7) -> "SimulationConfig":
+        """A reduced configuration for fast unit/integration tests."""
+        return cls(
+            seed=seed,
+            duration_days=60,
+            legit_collections=6,
+            wash_target_collections=5,
+            nfts_per_collection=(8, 16),
+            legit_traders=60,
+            legit_sales_per_day=5,
+            wash_mix=WashMix(
+                looksrare_reward_farms=8,
+                rarible_reward_farms=4,
+                opensea_resale_pumps=10,
+                opensea_small_washes=12,
+                superrare_washes=2,
+                decentraland_washes=1,
+                self_trades=5,
+                rarity_games=2,
+                zero_volume_shuffles=6,
+                offmarket_p2p_washes=6,
+            ),
+            position_vault_deposits=8,
+            erc1155_transfers=8,
+            noncompliant_transfers=8,
+            exchange_churn_users=8,
+            service_account_cycles=4,
+            contract_account_cycles=4,
+            serial_pool_size=12,
+        )
+
+    @classmethod
+    def tiny(cls, seed: int = 3) -> "SimulationConfig":
+        """A minimal configuration for the fastest smoke tests."""
+        return cls(
+            seed=seed,
+            duration_days=30,
+            legit_collections=3,
+            wash_target_collections=3,
+            nfts_per_collection=(5, 8),
+            legit_traders=25,
+            legit_sales_per_day=3,
+            wash_mix=WashMix(
+                looksrare_reward_farms=3,
+                rarible_reward_farms=2,
+                opensea_resale_pumps=4,
+                opensea_small_washes=4,
+                superrare_washes=1,
+                decentraland_washes=1,
+                self_trades=2,
+                rarity_games=1,
+                zero_volume_shuffles=3,
+                offmarket_p2p_washes=3,
+            ),
+            position_vault_deposits=4,
+            erc1155_transfers=4,
+            noncompliant_transfers=4,
+            exchange_churn_users=4,
+            service_account_cycles=2,
+            contract_account_cycles=2,
+            serial_pool_size=6,
+        )

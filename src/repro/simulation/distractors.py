@@ -1,0 +1,202 @@
+"""Distractor activity: on-chain noise the pipeline must not flag.
+
+The paper's dataset is dominated by activity that has nothing to do with
+collectible trading: UniswapV3 position NFTs (91% of raw volume),
+ERC-1155 and non-compliant token contracts, exchange deposit churn.
+This module plants the equivalent noise so the ingest filters and the
+refinement steps have something real to reject.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.chain.errors import ChainError
+from repro.chain.types import Call
+from repro.simulation.actors import TradingKit
+from repro.simulation.config import SimulationConfig
+from repro.utils.currency import eth_to_wei
+from repro.utils.rng import DeterministicRNG
+
+
+@dataclass
+class DistractorPlan:
+    """Pre-computed schedule of distractor actions, keyed by day."""
+
+    position_deposits: Dict[int, int] = field(default_factory=dict)
+    erc1155_transfers: Dict[int, int] = field(default_factory=dict)
+    noncompliant_transfers: Dict[int, int] = field(default_factory=dict)
+    exchange_churn: Dict[int, int] = field(default_factory=dict)
+
+
+def spread_over_days(total: int, duration_days: int, rng: DeterministicRNG) -> Dict[int, int]:
+    """Distribute ``total`` actions over the simulation, one day key per action."""
+    schedule: Dict[int, int] = {}
+    for _ in range(total):
+        day = rng.randint(1, max(duration_days - 2, 1))
+        schedule[day] = schedule.get(day, 0) + 1
+    return schedule
+
+
+class DistractorEngine:
+    """Executes the distractor schedule day by day."""
+
+    def __init__(
+        self,
+        kit: TradingKit,
+        config: SimulationConfig,
+        rng: DeterministicRNG,
+        vault_address: Optional[str],
+        erc1155_address: Optional[str],
+        noncompliant_addresses: List[str],
+        traders: List[str],
+    ) -> None:
+        self.kit = kit
+        self.config = config
+        self.rng = rng
+        self.vault_address = vault_address
+        self.erc1155_address = erc1155_address
+        self.noncompliant_addresses = noncompliant_addresses
+        self.traders = traders
+        self.plan = DistractorPlan(
+            position_deposits=spread_over_days(
+                config.position_vault_deposits, config.duration_days, rng
+            ),
+            erc1155_transfers=spread_over_days(
+                config.erc1155_transfers, config.duration_days, rng
+            ),
+            noncompliant_transfers=spread_over_days(
+                config.noncompliant_transfers, config.duration_days, rng
+            ),
+            exchange_churn=spread_over_days(
+                config.exchange_churn_users, config.duration_days, rng
+            ),
+        )
+        #: Open vault positions awaiting redemption: (owner, token id, redeem day).
+        self._open_positions: List[Tuple[str, int, int]] = []
+
+    def run_day(self, day: int) -> None:
+        """Execute every distractor action scheduled for ``day``."""
+        for _ in range(self.plan.position_deposits.get(day, 0)):
+            self._position_deposit(day)
+        self._redeem_due_positions(day)
+        for _ in range(self.plan.erc1155_transfers.get(day, 0)):
+            self._erc1155_transfer(day)
+        for _ in range(self.plan.noncompliant_transfers.get(day, 0)):
+            self._noncompliant_transfer(day)
+        for _ in range(self.plan.exchange_churn.get(day, 0)):
+            self._exchange_churn(day)
+
+    # -- individual distractors -----------------------------------------------------
+    def _position_deposit(self, day: int) -> None:
+        if self.vault_address is None:
+            return
+        user = self.kit.new_account("lp")
+        amount_eth = self.rng.uniform(20.0, 800.0)
+        self.kit.fund_from_exchange(user, amount_eth + 2.0, day)
+        timestamp = self.kit.clock.next_timestamp(day)
+        try:
+            tx = self.kit.chain.transact(
+                sender=user,
+                to=self.vault_address,
+                value_wei=eth_to_wei(amount_eth),
+                call=Call("deposit", {}),
+                timestamp=timestamp,
+            )
+        except ChainError:
+            return
+        token_id: Optional[int] = None
+        for log in tx.logs:
+            if log.is_erc721_transfer:
+                token_id = int(log.topics[3], 16)
+        if token_id is not None and self.rng.bernoulli(0.5):
+            redeem_day = min(day + self.rng.randint(2, 20), self.config.duration_days - 1)
+            self._open_positions.append((user, token_id, redeem_day))
+
+    def _redeem_due_positions(self, day: int) -> None:
+        if self.vault_address is None:
+            return
+        due = [entry for entry in self._open_positions if entry[2] <= day]
+        self._open_positions = [entry for entry in self._open_positions if entry[2] > day]
+        for owner, token_id, _redeem_day in due:
+            timestamp = self.kit.clock.next_timestamp(day)
+            try:
+                self.kit.chain.transact(
+                    sender=owner,
+                    to=self.vault_address,
+                    call=Call("redeem", {"token_id": token_id}),
+                    timestamp=timestamp,
+                )
+            except ChainError:
+                continue
+
+    def _erc1155_transfer(self, day: int) -> None:
+        if self.erc1155_address is None:
+            return
+        sender = self.rng.choice(self.traders)
+        recipient = self.rng.choice(self.traders)
+        token_id = self.rng.randint(1, 50)
+        timestamp = self.kit.clock.next_timestamp(day)
+        try:
+            self.kit.chain.transact(
+                sender=sender,
+                to=self.erc1155_address,
+                call=Call("mint", {"to": sender, "token_id": token_id, "amount": 3}),
+                timestamp=timestamp,
+            )
+            if recipient != sender:
+                timestamp = self.kit.clock.next_timestamp(day)
+                self.kit.chain.transact(
+                    sender=sender,
+                    to=self.erc1155_address,
+                    call=Call(
+                        "safeTransferFrom",
+                        {"sender": sender, "to": recipient, "token_id": token_id, "amount": 1},
+                    ),
+                    timestamp=timestamp,
+                )
+        except ChainError:
+            return
+
+    def _noncompliant_transfer(self, day: int) -> None:
+        if not self.noncompliant_addresses:
+            return
+        contract = self.rng.choice(self.noncompliant_addresses)
+        sender = self.rng.choice(self.traders)
+        recipient = self.rng.choice(self.traders)
+        timestamp = self.kit.clock.next_timestamp(day)
+        try:
+            tx = self.kit.chain.transact(
+                sender=sender,
+                to=contract,
+                call=Call("mint", {"to": sender}),
+                timestamp=timestamp,
+            )
+            token_id = None
+            for log in tx.logs:
+                if log.is_erc721_transfer:
+                    token_id = int(log.topics[3], 16)
+            if token_id is not None and recipient != sender:
+                timestamp = self.kit.clock.next_timestamp(day)
+                self.kit.chain.transact(
+                    sender=sender,
+                    to=contract,
+                    call=Call(
+                        "transferFrom",
+                        {"sender": sender, "to": recipient, "token_id": token_id},
+                    ),
+                    timestamp=timestamp,
+                )
+        except ChainError:
+            return
+
+    def _exchange_churn(self, day: int) -> None:
+        trader = self.rng.choice(self.traders)
+        amount = self.rng.uniform(0.5, 5.0)
+        if self.kit.balance_eth(trader) < amount + 0.2:
+            return
+        try:
+            self.kit.deposit_to_exchange(trader, amount, day)
+        except ChainError:
+            return

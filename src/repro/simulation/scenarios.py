@@ -1,0 +1,839 @@
+"""Wash trading and noise scenarios.
+
+Each scenario is a Python generator driven by the day-by-day scheduler in
+:mod:`repro.simulation.builder`: it yields the next simulation day it
+wants to act on, performs its chain actions when resumed, and registers
+what it did in the ground truth.  The catalogue covers every behaviour
+the paper describes:
+
+* reward farming on LooksRare and Rarible (Sec. VI-A),
+* resale pumping and small washes on OpenSea / SuperRare / Decentraland
+  (Sec. VI-B),
+* self-trades (Sec. IV-C iv),
+* rarity games a la OG:Crystals (Sec. VII),
+* off-market peer-to-peer washes with fully circulating payments (the
+  textbook zero-risk position),
+* zero-volume shuffles, service-account cycles and contract-account
+  cycles -- planted negatives the refinement must remove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Generator, Iterable, List, Optional, Sequence, Tuple
+
+from repro.chain.types import Call, NFTKey
+from repro.services.exchanges import CentralizedExchange
+from repro.simulation.actors import TradingKit
+from repro.simulation.config import SimulationConfig
+from repro.simulation.ground_truth import (
+    GroundTruth,
+    KIND_CONTRACT_NOISE,
+    KIND_P2P_WASH,
+    KIND_RARITY_GAME,
+    KIND_RESALE_PUMP,
+    KIND_REWARD_FARM,
+    KIND_SELF_TRADE,
+    KIND_SERVICE_NOISE,
+    KIND_SMALL_WASH,
+    KIND_ZERO_VOLUME,
+    PlannedActivity,
+)
+from repro.simulation.world import DeployedCollection
+from repro.utils.currency import eth_to_wei
+from repro.utils.rng import DeterministicRNG
+
+#: A scenario is a generator yielding the simulation days it wants to act on.
+Scenario = Generator[int, None, None]
+
+#: Gas/approval headroom granted to every colluding account, in ETH.
+GAS_BUFFER_ETH = 2.0
+
+
+@dataclass
+class WashGroup:
+    """A funded set of colluding accounts plus its funding metadata."""
+
+    accounts: List[str]
+    funder: Optional[str]
+    exit_account: Optional[str]
+    funded_via_exchange: bool
+    is_serial: bool
+
+
+class ScenarioFactory:
+    """Builds the full catalogue of scenario generators for one world."""
+
+    def __init__(
+        self,
+        kit: TradingKit,
+        config: SimulationConfig,
+        rng: DeterministicRNG,
+        ground_truth: GroundTruth,
+        wash_collections: Sequence[DeployedCollection],
+        game_address: Optional[str] = None,
+        dex_addresses: Optional[Dict[str, str]] = None,
+    ) -> None:
+        self.kit = kit
+        self.config = config
+        self.rng = rng
+        self.ground_truth = ground_truth
+        self.wash_collections = list(wash_collections)
+        self.game_address = game_address
+        self.dex_addresses = dex_addresses or {}
+        #: Reusable "professional" wash accounts (serial traders).
+        self.serial_pool: List[str] = [
+            kit.new_account("serial-washer") for _ in range(config.serial_pool_size)
+        ]
+        #: The account bankrolling and collecting for the serial pool.
+        self.pool_master = kit.new_account("serial-pool-master")
+        self._pool_master_funded = False
+        #: Start days of full-size reward farms per venue; deliberately
+        #: small ("failing") farms are scheduled on these days so their
+        #: reward share is diluted and the operation closes at a loss.
+        self._reward_farm_days: Dict[str, List[int]] = {}
+
+    # ------------------------------------------------------------------ helpers
+    def _pick_group_size(self) -> int:
+        weights = self.config.account_count_weights
+        sizes = sorted(weights)
+        return self.rng.weighted_choice(sizes, [weights[size] for size in sizes])
+
+    def _pick_accounts(self, size: int) -> Tuple[List[str], bool]:
+        """Pick colluding accounts, preferring the serial pool."""
+        use_serial = (
+            self.rng.bernoulli(self.config.serial_pool_probability)
+            and len(self.serial_pool) >= size
+        )
+        if use_serial:
+            return self.rng.sample(self.serial_pool, size), True
+        return [self.kit.new_account("washer") for _ in range(size)], False
+
+    def _pick_collection_and_start(self, earliest_day: int = 1) -> Tuple[DeployedCollection, int]:
+        """Pick a wash-target collection and a start day near its creation."""
+        collection = self.rng.choice(self.wash_collections)
+        offset = self.rng.randint(0, self.config.wash_near_creation_days)
+        start_day = max(collection.creation_day + offset, earliest_day)
+        start_day = min(start_day, self.config.duration_days - 3)
+        return collection, start_day
+
+    def _lifetime_days(self) -> float:
+        buckets = self.config.lifetime_buckets
+        limits = [limit for limit, _weight in buckets]
+        weights = [weight for _limit, weight in buckets]
+        chosen_limit = self.rng.weighted_choice(limits, weights)
+        return self.rng.uniform(0.0, chosen_limit)
+
+    def _fund_group(
+        self,
+        accounts: Sequence[str],
+        per_account_eth: float,
+        day: int,
+        is_serial: bool,
+    ) -> WashGroup:
+        """Fund the colluding accounts and decide the funder/exit topology."""
+        via_exchange = self.rng.bernoulli(self.config.funded_via_exchange_probability)
+        wants_exit = self.rng.bernoulli(self.config.common_exit_probability)
+
+        if is_serial:
+            funder: Optional[str] = self.pool_master
+            exit_account: Optional[str] = self.pool_master if wants_exit else None
+            needed = per_account_eth * len(accounts) + 10.0
+            if not self._pool_master_funded or self.kit.balance_eth(self.pool_master) < needed:
+                self.kit.fund_from_exchange(self.pool_master, needed + 50.0, day)
+                self._pool_master_funded = True
+            for account in accounts:
+                missing = per_account_eth - self.kit.balance_eth(account)
+                if missing > 0:
+                    self.kit.transfer_eth(self.pool_master, account, missing, day)
+            return WashGroup(
+                accounts=list(accounts),
+                funder=funder,
+                exit_account=exit_account,
+                funded_via_exchange=False,
+                is_serial=True,
+            )
+
+        if via_exchange:
+            exchange = self.kit.pick_exchange()
+            for account in accounts:
+                self.kit.fund_from_exchange(account, per_account_eth, day, exchange=exchange)
+            funder = None
+        else:
+            funder = self.kit.new_account("funder")
+            total = per_account_eth * len(accounts)
+            self.kit.fund_from_exchange(funder, total + 5.0, day)
+            for account in accounts:
+                self.kit.transfer_eth(funder, account, per_account_eth, day)
+        exit_account = self.kit.new_account("exit") if wants_exit else None
+        return WashGroup(
+            accounts=list(accounts),
+            funder=funder,
+            exit_account=exit_account,
+            funded_via_exchange=via_exchange,
+            is_serial=False,
+        )
+
+    def _top_up(self, group: WashGroup, account: str, needed_eth: float, day: int) -> None:
+        """Make sure a colluding account can cover an upcoming payment.
+
+        Serial-pool accounts participate in overlapping activities and may
+        have been drained to the pool master by another activity's exit;
+        the pool master (or the group funder) tops them up, which is both
+        realistic and additional funding evidence for the detectors.
+        """
+        balance = self.kit.balance_eth(account)
+        if balance >= needed_eth:
+            return
+        missing = needed_eth - balance + 0.5
+        source = self.pool_master if group.is_serial else group.funder
+        if source is None:
+            self.kit.fund_from_exchange(account, missing, day)
+            return
+        if self.kit.balance_eth(source) < missing + 1.0:
+            self.kit.fund_from_exchange(source, missing + 25.0, day)
+        self.kit.transfer_eth(source, account, missing, day)
+
+    def _drain_to_exit(self, group: WashGroup, day: int, keep_eth: float = 0.3) -> None:
+        """Send each member's remaining ETH to the common exit account."""
+        if group.exit_account is None:
+            return
+        for account in group.accounts:
+            balance = self.kit.balance_eth(account)
+            amount = balance - keep_eth
+            if amount > 0.05:
+                self.kit.transfer_eth(account, group.exit_account, amount, day)
+
+    @staticmethod
+    def _legs_for_pattern(
+        accounts: Sequence[str], shape: str, rounds: int
+    ) -> List[Tuple[str, str]]:
+        """The (seller, buyer) sequence realising a Fig. 7 shape.
+
+        The NFT starts at ``accounts[0]``; every sequence keeps ownership
+        consistent (the seller of each leg is the current owner).
+        """
+        n = len(accounts)
+        legs: List[Tuple[str, str]] = []
+        if n == 1:
+            return [(accounts[0], accounts[0])] * max(rounds, 1)
+        if shape == "chain" and n >= 3:
+            path = list(range(n)) + list(range(n - 2, -1, -1))
+            while len(legs) < max(rounds, 2 * (n - 1)):
+                for i in range(len(path) - 1):
+                    legs.append((accounts[path[i]], accounts[path[i + 1]]))
+                    if len(legs) >= max(rounds, 2 * (n - 1)):
+                        break
+            return legs
+        if shape == "hub" and n >= 3:
+            spokes: List[int] = []
+            for spoke in range(1, n):
+                spokes.extend([0, spoke])
+            path = spokes + [0]
+            for i in range(len(path) - 1):
+                legs.append((accounts[path[i]], accounts[path[i + 1]]))
+            return legs
+        # Default: the circular pattern (also the round trip for n == 2).
+        rounds = max(rounds, n)
+        for leg in range(rounds):
+            legs.append((accounts[leg % n], accounts[(leg + 1) % n]))
+        # Close the cycle so the last owner is accounts[0] again only if the
+        # count left it elsewhere; an open tail still forms an SCC because
+        # the first full cycle already closed it.
+        return legs
+
+    def _pick_shape(self, size: int) -> str:
+        if size <= 2:
+            return "cycle"
+        roll = self.rng.random()
+        if size == 3:
+            return "cycle" if roll < 0.62 else "chain"
+        if roll < 0.55:
+            return "cycle"
+        if roll < 0.80:
+            return "chain"
+        return "hub"
+
+    def _trade_days(self, start_day: int, legs: int, lifetime_days: float) -> List[int]:
+        """Assign each trade leg to a day within the activity's lifetime."""
+        end_day = start_day + int(lifetime_days)
+        end_day = min(end_day, self.config.duration_days - 2)
+        if end_day <= start_day:
+            return [start_day] * legs
+        days = sorted(
+            self.rng.randint(start_day, end_day) for _ in range(legs - 2)
+        ) if legs > 2 else []
+        return [start_day] + days + [end_day]
+
+    def _record(self, **kwargs) -> None:
+        self.ground_truth.record(PlannedActivity(**kwargs))
+
+    # ------------------------------------------------------------------ scenarios
+    def reward_farm(self, venue: str, failing: Optional[bool] = None) -> Scenario:
+        """Wash trading to farm a venue's token rewards (LooksRare / Rarible)."""
+        config = self.config
+        collection, start_day = self._pick_collection_and_start()
+        size = 2 if self.rng.random() < 0.75 else self._pick_group_size()
+        if failing is None:
+            failing = self.rng.bernoulli(config.reward_failure_probability)
+        if failing:
+            # Failing farms are opportunistic one-off attempts: fresh
+            # accounts, not the professional pool (the pool's later claims
+            # would otherwise mix rewards from unrelated operations in).
+            accounts, is_serial = [self.kit.new_account("washer") for _ in range(size)], False
+        else:
+            accounts, is_serial = self._pick_accounts(size)
+        shape = self._pick_shape(size)
+
+        farm_days = self._reward_farm_days.setdefault(venue, [])
+        if failing and farm_days:
+            # Failing farms trade tiny volumes on a day already dominated by
+            # a full-size farm: their reward share is negligible while gas
+            # and venue fees are not, so the balance ends negative.
+            start_day = self.rng.choice(farm_days)
+        elif not failing:
+            farm_days.append(start_day)
+        if venue == "LooksRare":
+            price_range = (0.01, 0.06) if failing else config.looksrare_leg_price_eth
+        else:
+            price_range = (0.002, 0.02) if failing else config.rarible_leg_price_eth
+        start_price = self.rng.uniform(*price_range)
+        rounds = (
+            self.rng.randint(6, 10) if failing else self.rng.randint(*config.reward_farm_rounds)
+        )
+        legs = self._legs_for_pattern(accounts, shape, rounds)
+        # Reward farming is a burst: the large majority fits in one day.
+        lifetime = (
+            0.0
+            if self.rng.random() < config.reward_farm_single_day_probability
+            else self._lifetime_days()
+        )
+        leg_days = self._trade_days(start_day, len(legs), min(lifetime, 4.0))
+        # Failing farms always claim (that is what makes them measurable
+        # losses); otherwise a share never bothers to claim at all.
+        unclaimed = False if failing else self.rng.bernoulli(config.reward_unclaimed_probability)
+
+        def run() -> Scenario:
+            funding_day = max(start_day - self.rng.randint(0, 2), 0)
+            yield funding_day
+            venue_fee = self.kit.marketplaces.venue(venue).fee_bps / 10_000
+            group = self._fund_group(
+                accounts, start_price * 1.15 + GAS_BUFFER_ETH, funding_day, is_serial
+            )
+            acquisition_delay = 0 if self.rng.random() < 0.45 else self.rng.randint(1, 13)
+            acquisition_day = max(start_day - acquisition_delay, funding_day)
+            yield acquisition_day
+            token_id = self.kit.mint(collection.address, accounts[0], acquisition_day)
+            nft = NFTKey(contract=collection.address, token_id=token_id)
+
+            price = start_price
+            last_day: Optional[int] = None
+            for (seller, buyer), day in zip(legs, leg_days):
+                if day != last_day:
+                    yield day
+                    last_day = day
+                self._top_up(group, buyer, price + GAS_BUFFER_ETH, day)
+                self.kit.marketplace_sale(
+                    venue, collection.address, token_id, seller, buyer, price, day
+                )
+                # The next leg is priced so the freshly paid seller can fund
+                # it: the price drops by the venue fee plus a hair of slack,
+                # exactly the staircase the paper's case study observes.
+                price = max(price * (1 - venue_fee) - 0.01, 0.01)
+
+            claim_day = min(last_day + 1 + self.rng.randint(0, 1), config.duration_days - 1)
+            if not unclaimed:
+                yield claim_day
+                for account in accounts:
+                    self.kit.claim_rewards(venue, account, claim_day)
+                exit_day = min(claim_day + self.rng.randint(0, 1), config.duration_days - 1)
+                if exit_day != claim_day:
+                    yield exit_day
+                self._drain_to_exit(group, exit_day)
+            else:
+                exit_day = min(last_day + 1, config.duration_days - 1)
+                yield exit_day
+                self._drain_to_exit(group, exit_day)
+
+            self._record(
+                kind=KIND_REWARD_FARM,
+                nft=nft,
+                accounts=frozenset(accounts),
+                venue=venue,
+                start_day=start_day,
+                end_day=last_day,
+                planned_volume_wei=eth_to_wei(start_price * len(legs)),
+                funder=group.funder,
+                exit_account=group.exit_account,
+                metadata={
+                    "shape": shape,
+                    "unclaimed": unclaimed,
+                    "failing": failing,
+                    "serial": is_serial,
+                },
+            )
+
+        return run()
+
+    def resale_pump(self, venue: str = "OpenSea") -> Scenario:
+        """Pump an NFT's price through wash trades, then try to resell it."""
+        config = self.config
+        collection, start_day = self._pick_collection_and_start()
+        size = self._pick_group_size()
+        accounts, is_serial = self._pick_accounts(size)
+        shape = self._pick_shape(size)
+        start_price = self.rng.uniform(*config.opensea_pump_start_price_eth)
+        multiplier = self.rng.uniform(*config.opensea_pump_multiplier)
+        rounds = max(self.rng.randint(3, 7), size)
+        legs = self._legs_for_pattern(accounts, shape, rounds)
+        final_price = start_price * multiplier
+        lifetime = self._lifetime_days()
+        leg_days = self._trade_days(start_day, len(legs), lifetime)
+        will_sell = self.rng.bernoulli(config.resale_success_probability)
+        profitable = self.rng.bernoulli(config.resale_profitable_probability)
+
+        def run() -> Scenario:
+            funding_day = max(start_day - self.rng.randint(0, 3), 0)
+            yield funding_day
+            group = self._fund_group(
+                accounts, final_price * 1.3 + GAS_BUFFER_ETH, funding_day, is_serial
+            )
+            acquisition_delay = 0 if self.rng.random() < 0.4 else self.rng.randint(1, 13)
+            acquisition_day = max(start_day - acquisition_delay, funding_day)
+            yield acquisition_day
+            # The wash trader buys the NFT from its creator shortly before
+            # the manipulation starts (the paper finds most targets are
+            # acquired within two weeks of the activity) -- this purchase
+            # price is the cost basis of the whole operation.
+            creator = self.kit.new_account("creator")
+            self.kit.fund_from_exchange(creator, 3.0, acquisition_day)
+            token_id = self.kit.mint(collection.address, creator, acquisition_day)
+            self._top_up(group, accounts[0], start_price + GAS_BUFFER_ETH, acquisition_day)
+            self.kit.marketplace_sale(
+                venue, collection.address, token_id, creator, accounts[0],
+                start_price, acquisition_day,
+            )
+            nft = NFTKey(contract=collection.address, token_id=token_id)
+
+            last_day: Optional[int] = None
+            for index, ((seller, buyer), day) in enumerate(zip(legs, leg_days)):
+                if day != last_day:
+                    yield day
+                    last_day = day
+                fraction = (index + 1) / len(legs)
+                price = start_price + (final_price - start_price) * fraction
+                self._top_up(group, buyer, price + GAS_BUFFER_ETH, day)
+                self.kit.marketplace_sale(
+                    venue, collection.address, token_id, seller, buyer, price, day
+                )
+
+            current_owner = self.kit.owner_of(collection.address, token_id)
+            resale_price = 0.0
+            if will_sell:
+                # ~40% of resales land the day the manipulation ends, the
+                # rest mostly within a month (Sec. VI-B).
+                offset = 0 if self.rng.random() < 0.4 else self.rng.randint(1, 28)
+                resale_day = min(last_day + offset, config.duration_days - 1)
+                yield resale_day
+                overhead = final_price * 0.08 + 0.4
+                if profitable:
+                    resale_price = final_price * self.rng.uniform(1.02, 1.35) + overhead
+                else:
+                    resale_price = max(
+                        start_price * self.rng.uniform(0.5, 0.95), 0.05
+                    )
+                victim = self.kit.new_account("external-buyer")
+                self.kit.fund_from_exchange(victim, resale_price + GAS_BUFFER_ETH, resale_day)
+                self.kit.marketplace_sale(
+                    venue, collection.address, token_id, current_owner, victim,
+                    resale_price, resale_day,
+                )
+                exit_day = resale_day
+            else:
+                exit_day = min(last_day + 1, config.duration_days - 1)
+                yield exit_day
+                if self.rng.random() < 0.4 and size >= 2:
+                    # An internal zero-price movement, as the paper observes
+                    # for many unsold NFTs.
+                    other = accounts[(accounts.index(current_owner) + 1) % size]
+                    self.kit.direct_transfer(
+                        collection.address, token_id, current_owner, other, exit_day
+                    )
+            self._drain_to_exit(group, exit_day)
+
+            self._record(
+                kind=KIND_RESALE_PUMP,
+                nft=nft,
+                accounts=frozenset(accounts),
+                venue=venue,
+                start_day=start_day,
+                end_day=last_day,
+                planned_volume_wei=eth_to_wei(final_price * len(legs) * 0.6),
+                funder=group.funder,
+                exit_account=group.exit_account,
+                metadata={
+                    "shape": shape,
+                    "sold": will_sell,
+                    "profitable": profitable,
+                    "resale_price_eth": resale_price,
+                    "serial": is_serial,
+                },
+            )
+
+        return run()
+
+    def small_wash(self, venue: str = "OpenSea") -> Scenario:
+        """A low-value wash on a non-reward venue (bulk of the operation count)."""
+        config = self.config
+        collection, start_day = self._pick_collection_and_start()
+        size = self._pick_group_size()
+        accounts, is_serial = self._pick_accounts(size)
+        shape = self._pick_shape(size)
+        price = self.rng.uniform(0.05, 3.0)
+        rounds = max(self.rng.randint(2, 5), size)
+        legs = self._legs_for_pattern(accounts, shape, rounds)
+        lifetime = self._lifetime_days()
+        leg_days = self._trade_days(start_day, len(legs), lifetime)
+
+        def run() -> Scenario:
+            funding_day = max(start_day - self.rng.randint(0, 2), 0)
+            yield funding_day
+            group = self._fund_group(
+                accounts, price * 1.4 + GAS_BUFFER_ETH, funding_day, is_serial
+            )
+            acquisition_day = max(start_day - (0 if self.rng.random() < 0.4 else self.rng.randint(1, 10)), funding_day)
+            yield acquisition_day
+            creator = self.kit.new_account("creator")
+            self.kit.fund_from_exchange(creator, 3.0, acquisition_day)
+            token_id = self.kit.mint(collection.address, creator, acquisition_day)
+            self._top_up(group, accounts[0], price + GAS_BUFFER_ETH, acquisition_day)
+            self.kit.marketplace_sale(
+                venue, collection.address, token_id, creator, accounts[0], price, acquisition_day
+            )
+            nft = NFTKey(contract=collection.address, token_id=token_id)
+
+            leg_price = price
+            last_day: Optional[int] = None
+            venue_fee = self.kit.marketplaces.venue(venue).fee_bps / 10_000
+            for (seller, buyer), day in zip(legs, leg_days):
+                if day != last_day:
+                    yield day
+                    last_day = day
+                self._top_up(group, buyer, leg_price + GAS_BUFFER_ETH, day)
+                self.kit.marketplace_sale(
+                    venue, collection.address, token_id, seller, buyer, leg_price, day
+                )
+                leg_price = max(leg_price * (1 - venue_fee) - 0.002, 0.01)
+
+            if self.rng.bernoulli(config.small_wash_resale_probability):
+                resale_day = min(
+                    last_day + (0 if self.rng.random() < 0.4 else self.rng.randint(1, 25)),
+                    config.duration_days - 1,
+                )
+                yield resale_day
+                owner = self.kit.owner_of(collection.address, token_id)
+                resale_price = price * self.rng.uniform(*config.small_wash_resale_uplift)
+                victim = self.kit.new_account("external-buyer")
+                self.kit.fund_from_exchange(victim, resale_price + GAS_BUFFER_ETH, resale_day)
+                self.kit.marketplace_sale(
+                    venue, collection.address, token_id, owner, victim, resale_price, resale_day
+                )
+                exit_day = resale_day
+            else:
+                exit_day = min(last_day + 1, config.duration_days - 1)
+                yield exit_day
+            self._drain_to_exit(group, exit_day)
+            self._record(
+                kind=KIND_SMALL_WASH,
+                nft=nft,
+                accounts=frozenset(accounts),
+                venue=venue,
+                start_day=start_day,
+                end_day=last_day,
+                planned_volume_wei=eth_to_wei(price * len(legs)),
+                funder=group.funder,
+                exit_account=group.exit_account,
+                metadata={"shape": shape, "serial": is_serial},
+            )
+
+        return run()
+
+    def self_trade(self) -> Scenario:
+        """An account trading an NFT with itself, outside any venue."""
+        config = self.config
+        collection, start_day = self._pick_collection_and_start()
+        accounts, is_serial = self._pick_accounts(1)
+        account = accounts[0]
+        attached = self.rng.uniform(0.3, 6.0)
+        repeats = self.rng.randint(1, 3)
+
+        def run() -> Scenario:
+            funding_day = max(start_day - 1, 0)
+            yield funding_day
+            group = self._fund_group(
+                [account], attached * repeats + GAS_BUFFER_ETH, funding_day, is_serial
+            )
+            yield start_day
+            self._top_up(group, account, attached * repeats + GAS_BUFFER_ETH, start_day)
+            token_id = self.kit.mint(collection.address, account, start_day)
+            nft = NFTKey(contract=collection.address, token_id=token_id)
+            for _ in range(repeats):
+                self.kit.self_trade(collection.address, token_id, account, start_day, attached)
+            self._record(
+                kind=KIND_SELF_TRADE,
+                nft=nft,
+                accounts=frozenset([account]),
+                venue=None,
+                start_day=start_day,
+                end_day=start_day,
+                planned_volume_wei=eth_to_wei(attached * repeats),
+                funder=group.funder,
+                exit_account=group.exit_account,
+                metadata={"repeats": repeats, "serial": is_serial},
+            )
+
+        return run()
+
+    def rarity_game(self, venue: str = "OpenSea") -> Scenario:
+        """Sell-and-return cycles to farm sale-triggered trait upgrades."""
+        config = self.config
+        collection, start_day = self._pick_collection_and_start()
+        buyer_count = self.rng.randint(2, 4)
+        seller = self.kit.new_account("rarity-seller")
+        buyers = [self.kit.new_account("rarity-buyer") for _ in range(buyer_count)]
+        price = self.rng.uniform(0.4, 3.0)
+
+        def run() -> Scenario:
+            funding_day = max(start_day - 1, 0)
+            yield funding_day
+            group = self._fund_group(
+                [seller, *buyers], price * 1.5 + GAS_BUFFER_ETH, funding_day, is_serial=False
+            )
+            yield start_day
+            token_id = self.kit.mint(collection.address, seller, start_day)
+            nft = NFTKey(contract=collection.address, token_id=token_id)
+            day = start_day
+            for index, buyer in enumerate(buyers):
+                day = min(start_day + index, config.duration_days - 2)
+                if index:
+                    yield day
+                self._top_up(group, buyer, price + GAS_BUFFER_ETH, day)
+                self.kit.marketplace_sale(
+                    venue, collection.address, token_id, seller, buyer, price, day
+                )
+                # The buyer hands the NFT back off-market, for free.
+                self.kit.direct_transfer(collection.address, token_id, buyer, seller, day)
+            exit_day = min(day + 1, config.duration_days - 1)
+            yield exit_day
+            self._drain_to_exit(group, exit_day)
+            self._record(
+                kind=KIND_RARITY_GAME,
+                nft=nft,
+                accounts=frozenset([seller, *buyers]),
+                venue=venue,
+                start_day=start_day,
+                end_day=day,
+                planned_volume_wei=eth_to_wei(price * buyer_count),
+                funder=group.funder,
+                exit_account=group.exit_account,
+                metadata={"buyers": buyer_count},
+            )
+
+        return run()
+
+    def p2p_wash(self) -> Scenario:
+        """An off-market wash with payments that fully circulate (zero risk)."""
+        config = self.config
+        collection, start_day = self._pick_collection_and_start()
+        accounts, is_serial = self._pick_accounts(2)
+        price = self.rng.uniform(0.5, 8.0)
+        rounds = self.rng.randint(2, 6)
+        zero_risk = self.rng.bernoulli(config.zero_risk_p2p_probability)
+        lifetime = self._lifetime_days()
+        leg_days = self._trade_days(start_day, rounds, min(lifetime, 6.0))
+
+        def run() -> Scenario:
+            funding_day = max(start_day - self.rng.randint(0, 2), 0)
+            yield funding_day
+            group = self._fund_group(
+                accounts, price + GAS_BUFFER_ETH, funding_day, is_serial
+            )
+            yield leg_days[0]
+            token_id = self.kit.mint(collection.address, accounts[0], leg_days[0])
+            nft = NFTKey(contract=collection.address, token_id=token_id)
+            owner_index = 0
+            last_day = leg_days[0]
+            for day in leg_days:
+                if day != last_day:
+                    yield day
+                    last_day = day
+                seller = accounts[owner_index]
+                buyer = accounts[1 - owner_index]
+                leg_price = price if zero_risk else price * self.rng.uniform(0.8, 1.2)
+                self._top_up(group, buyer, leg_price + 1.0, day)
+                # The atomic OTC desk keeps the payment in the same
+                # transaction as the NFT move (non-zero volume, zero venue
+                # fee) -- the textbook zero-risk position.
+                self.kit.otc_trade(
+                    collection.address, token_id, seller, buyer, leg_price, day
+                )
+                owner_index = 1 - owner_index
+            exit_day = min(last_day + 1, config.duration_days - 1)
+            yield exit_day
+            self._drain_to_exit(group, exit_day)
+            self._record(
+                kind=KIND_P2P_WASH,
+                nft=nft,
+                accounts=frozenset(accounts),
+                venue=None,
+                start_day=start_day,
+                end_day=last_day,
+                planned_volume_wei=eth_to_wei(price * rounds),
+                funder=group.funder,
+                exit_account=group.exit_account,
+                metadata={"zero_risk": zero_risk, "serial": is_serial},
+            )
+
+        return run()
+
+    # ------------------------------------------------------------------ planted negatives
+    def zero_volume_shuffle(self) -> Scenario:
+        """Accounts moving an NFT in a circle without any payment (filtered)."""
+        collection, start_day = self._pick_collection_and_start()
+        size = self.rng.randint(2, 3)
+        accounts = [self.kit.new_account("shuffler") for _ in range(size)]
+
+        def run() -> Scenario:
+            yield max(start_day - 1, 0)
+            funder = self.kit.new_account("shuffle-funder")
+            self.kit.fund_from_exchange(funder, GAS_BUFFER_ETH * (size + 1), max(start_day - 1, 0))
+            for account in accounts:
+                self.kit.transfer_eth(funder, account, GAS_BUFFER_ETH, max(start_day - 1, 0))
+            yield start_day
+            token_id = self.kit.mint(collection.address, accounts[0], start_day)
+            nft = NFTKey(contract=collection.address, token_id=token_id)
+            for index in range(size):
+                sender = accounts[index]
+                recipient = accounts[(index + 1) % size]
+                self.kit.direct_transfer(collection.address, token_id, sender, recipient, start_day)
+            self._record(
+                kind=KIND_ZERO_VOLUME,
+                nft=nft,
+                accounts=frozenset(accounts),
+                venue=None,
+                start_day=start_day,
+                end_day=start_day,
+                expected_detectable=False,
+            )
+
+        return run()
+
+    def service_account_cycle(self, exchange: CentralizedExchange) -> Scenario:
+        """An NFT parked at an exchange hot wallet and returned (filtered)."""
+        collection, start_day = self._pick_collection_and_start()
+        user = self.kit.new_account("custodial-user")
+
+        def run() -> Scenario:
+            yield max(start_day - 1, 0)
+            self.kit.fund_from_exchange(user, GAS_BUFFER_ETH + 2.0, max(start_day - 1, 0), exchange=exchange)
+            yield start_day
+            token_id = self.kit.mint(collection.address, user, start_day)
+            nft = NFTKey(contract=collection.address, token_id=token_id)
+            self.kit.direct_transfer(
+                collection.address, token_id, user, exchange.hot_wallet, start_day
+            )
+            return_day = min(start_day + self.rng.randint(1, 5), self.config.duration_days - 1)
+            yield return_day
+            # The custodian needs gas to hand the NFT back; hot wallets hold plenty.
+            self.kit.direct_transfer(
+                collection.address, token_id, exchange.hot_wallet, user, return_day
+            )
+            self._record(
+                kind=KIND_SERVICE_NOISE,
+                nft=nft,
+                accounts=frozenset([user, exchange.hot_wallet]),
+                venue=None,
+                start_day=start_day,
+                end_day=return_day,
+                expected_detectable=False,
+            )
+
+        return run()
+
+    def contract_account_cycle(self) -> Scenario:
+        """An NFT staked into a game contract and unstaked (filtered)."""
+        collection, start_day = self._pick_collection_and_start()
+        user = self.kit.new_account("gamer")
+        game = self.game_address
+
+        def run() -> Scenario:
+            yield max(start_day - 1, 0)
+            self.kit.fund_from_exchange(user, GAS_BUFFER_ETH + 2.0, max(start_day - 1, 0))
+            yield start_day
+            token_id = self.kit.mint(collection.address, user, start_day)
+            nft = NFTKey(contract=collection.address, token_id=token_id)
+            if game is None:
+                return
+            self.kit.ensure_approval(user, collection.address, game, start_day)
+            timestamp = self.kit.clock.next_timestamp(start_day)
+            self.kit.chain.transact(
+                sender=user,
+                to=game,
+                call=Call("stake", {"collection": collection.address, "token_id": token_id}),
+                timestamp=timestamp,
+            )
+            unstake_day = min(start_day + self.rng.randint(1, 7), self.config.duration_days - 1)
+            yield unstake_day
+            timestamp = self.kit.clock.next_timestamp(unstake_day)
+            self.kit.chain.transact(
+                sender=user,
+                to=game,
+                call=Call("unstake", {"collection": collection.address, "token_id": token_id}),
+                timestamp=timestamp,
+            )
+            self._record(
+                kind=KIND_CONTRACT_NOISE,
+                nft=nft,
+                accounts=frozenset([user, game]),
+                venue=None,
+                start_day=start_day,
+                end_day=unstake_day,
+                expected_detectable=False,
+            )
+
+        return run()
+
+    # ------------------------------------------------------------------ catalogue
+    def build_all(self, exchanges: Sequence[CentralizedExchange]) -> List[Scenario]:
+        """Instantiate every planted scenario according to the configured mix."""
+        mix = self.config.wash_mix
+        scenarios: List[Scenario] = []
+        # Full-size farms are instantiated before the failing ones so the
+        # failing ones can piggy-back on a whale day (diluting their share).
+        looks_failing = max(int(round(mix.looksrare_reward_farms * self.config.reward_failure_probability)), 1)
+        rari_failing = max(int(round(mix.rarible_reward_farms * self.config.reward_failure_probability)), 1)
+        scenarios.extend(
+            self.reward_farm("LooksRare", failing=False)
+            for _ in range(mix.looksrare_reward_farms - looks_failing)
+        )
+        scenarios.extend(
+            self.reward_farm("Rarible", failing=False)
+            for _ in range(mix.rarible_reward_farms - rari_failing)
+        )
+        scenarios.extend(self.reward_farm("LooksRare", failing=True) for _ in range(looks_failing))
+        scenarios.extend(self.reward_farm("Rarible", failing=True) for _ in range(rari_failing))
+        scenarios.extend(self.resale_pump("OpenSea") for _ in range(mix.opensea_resale_pumps))
+        scenarios.extend(self.small_wash("OpenSea") for _ in range(mix.opensea_small_washes))
+        scenarios.extend(self.small_wash("SuperRare") for _ in range(mix.superrare_washes))
+        scenarios.extend(self.small_wash("Decentraland") for _ in range(mix.decentraland_washes))
+        scenarios.extend(self.self_trade() for _ in range(mix.self_trades))
+        scenarios.extend(self.rarity_game() for _ in range(mix.rarity_games))
+        scenarios.extend(self.p2p_wash() for _ in range(mix.offmarket_p2p_washes))
+        scenarios.extend(self.zero_volume_shuffle() for _ in range(mix.zero_volume_shuffles))
+        for index in range(self.config.service_account_cycles):
+            exchange = exchanges[index % len(exchanges)]
+            scenarios.append(self.service_account_cycle(exchange))
+        scenarios.extend(
+            self.contract_account_cycle() for _ in range(self.config.contract_account_cycles)
+        )
+        return scenarios

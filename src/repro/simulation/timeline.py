@@ -1,0 +1,57 @@
+"""Timestamp allocation for the workload generator.
+
+The chain accepts only non-decreasing timestamps, so the generator
+processes the simulated history day by day and asks a single global
+:class:`TimeAllocator` for every transaction timestamp.  The allocator
+hands out strictly increasing timestamps inside the requested day (and
+never goes backwards even if a day overflows its nominal length).
+"""
+
+from __future__ import annotations
+
+from repro.utils.timeutil import SECONDS_PER_DAY, SIMULATION_EPOCH
+
+
+class TimeAllocator:
+    """Hands out monotonically increasing timestamps, day by day."""
+
+    def __init__(
+        self,
+        start_timestamp: int = SIMULATION_EPOCH,
+        step_seconds: int = 17,
+        day_start_offset: int = 3600,
+    ) -> None:
+        self.start_timestamp = start_timestamp
+        self.step_seconds = step_seconds
+        self.day_start_offset = day_start_offset
+        self._last_timestamp = start_timestamp
+
+    def day_start(self, day: int) -> int:
+        """Timestamp of midnight (simulation time) of a simulation day."""
+        return self.start_timestamp + day * SECONDS_PER_DAY
+
+    def next_timestamp(self, day: int, spacing: int | None = None) -> int:
+        """A fresh timestamp within (or after) the given simulation day.
+
+        Timestamps inside one day advance by ``spacing`` (default: the
+        allocator's step); the result is always strictly greater than any
+        previously returned timestamp.
+        """
+        spacing = self.step_seconds if spacing is None else max(int(spacing), 1)
+        candidate = self.day_start(day) + self.day_start_offset
+        timestamp = max(candidate, self._last_timestamp + spacing)
+        self._last_timestamp = timestamp
+        return timestamp
+
+    def jump_to_day(self, day: int) -> None:
+        """Fast-forward the allocator to the start of a day (never backwards)."""
+        self._last_timestamp = max(self._last_timestamp, self.day_start(day))
+
+    @property
+    def last_timestamp(self) -> int:
+        """The most recently allocated timestamp."""
+        return self._last_timestamp
+
+    def current_day(self) -> int:
+        """The simulation day of the most recently allocated timestamp."""
+        return (self._last_timestamp - self.start_timestamp) // SECONDS_PER_DAY

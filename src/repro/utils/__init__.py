@@ -1,0 +1,41 @@
+"""Small shared utilities: deterministic hashing, currency conversion,
+seeded randomness and time helpers."""
+
+from repro.utils.hashing import keccak_hex, event_signature, new_address, new_tx_hash
+from repro.utils.currency import (
+    WEI_PER_ETH,
+    GWEI_PER_ETH,
+    eth_to_wei,
+    wei_to_eth,
+    gwei_to_wei,
+    format_eth,
+    format_usd,
+)
+from repro.utils.rng import DeterministicRNG
+from repro.utils.timeutil import (
+    SECONDS_PER_DAY,
+    day_of,
+    days_between,
+    timestamp_of_day,
+    format_day,
+)
+
+__all__ = [
+    "keccak_hex",
+    "event_signature",
+    "new_address",
+    "new_tx_hash",
+    "WEI_PER_ETH",
+    "GWEI_PER_ETH",
+    "eth_to_wei",
+    "wei_to_eth",
+    "gwei_to_wei",
+    "format_eth",
+    "format_usd",
+    "DeterministicRNG",
+    "SECONDS_PER_DAY",
+    "day_of",
+    "days_between",
+    "timestamp_of_day",
+    "format_day",
+]

@@ -1,0 +1,41 @@
+"""Currency units and conversions.
+
+All on-chain value in the reproduction is held as integer wei, exactly
+like the real chain; ETH and USD only appear at the analysis boundary.
+"""
+
+from __future__ import annotations
+
+WEI_PER_ETH = 10**18
+WEI_PER_GWEI = 10**9
+GWEI_PER_ETH = 10**9
+
+
+def eth_to_wei(amount_eth: float | int) -> int:
+    """Convert an ETH amount to integer wei (rounded to the nearest wei)."""
+    return int(round(amount_eth * WEI_PER_ETH))
+
+
+def wei_to_eth(amount_wei: int) -> float:
+    """Convert integer wei to a float ETH amount."""
+    return amount_wei / WEI_PER_ETH
+
+
+def gwei_to_wei(amount_gwei: float | int) -> int:
+    """Convert gwei (the customary gas-price unit) to integer wei."""
+    return int(round(amount_gwei * WEI_PER_GWEI))
+
+
+def wei_to_gwei(amount_wei: int) -> float:
+    """Convert integer wei to gwei."""
+    return amount_wei / WEI_PER_GWEI
+
+
+def format_eth(amount_wei: int, decimals: int = 4) -> str:
+    """Render a wei amount as a human-readable ETH string."""
+    return f"{wei_to_eth(amount_wei):,.{decimals}f} ETH"
+
+
+def format_usd(amount_usd: float, decimals: int = 2) -> str:
+    """Render a USD amount as a human-readable string."""
+    return f"${amount_usd:,.{decimals}f}"

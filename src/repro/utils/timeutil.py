@@ -1,0 +1,39 @@
+"""Time helpers.
+
+The simulation models time as plain UNIX timestamps.  Days matter in two
+places that mirror the paper: marketplace reward programs distribute
+tokens per *day* of trading volume, and the USD price oracle is a daily
+series.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+
+SECONDS_PER_DAY = 86_400
+
+#: The simulation epoch: 2020-01-01 00:00:00 UTC.  Collections, trades
+#: and reward epochs are all expressed relative to this origin, loosely
+#: matching the window in which most of the paper's activity happens.
+SIMULATION_EPOCH = int(_dt.datetime(2020, 1, 1, tzinfo=_dt.timezone.utc).timestamp())
+
+
+def day_of(timestamp: int) -> int:
+    """Return the day index (since the UNIX epoch) of a timestamp."""
+    return timestamp // SECONDS_PER_DAY
+
+
+def timestamp_of_day(day_index: int) -> int:
+    """Return the timestamp of midnight UTC of the given day index."""
+    return day_index * SECONDS_PER_DAY
+
+
+def days_between(start_ts: int, end_ts: int) -> float:
+    """Return the (fractional) number of days between two timestamps."""
+    return (end_ts - start_ts) / SECONDS_PER_DAY
+
+
+def format_day(timestamp: int) -> str:
+    """Render a timestamp as an ISO date string (UTC)."""
+    moment = _dt.datetime.fromtimestamp(timestamp, tz=_dt.timezone.utc)
+    return moment.strftime("%Y-%m-%d")

@@ -1,0 +1,121 @@
+"""Tests for the CDF helpers, table builders, figures and the report."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.cdf import cdf_at, empirical_cdf, quantile
+from repro.analysis.tables import format_table
+
+
+class TestCDF:
+    def test_empirical_cdf_points(self):
+        points = empirical_cdf([1, 2, 2, 4])
+        assert points[0] == (1, 0.25)
+        assert points[-1] == (4, 1.0)
+        # Duplicate values collapse into one point.
+        assert (2, 0.75) in points
+
+    def test_empty_sample(self):
+        assert empirical_cdf([]) == []
+        assert cdf_at([], 5) == 0.0
+        assert quantile([], 0.5) == 0.0
+
+    def test_cdf_at(self):
+        values = [1, 2, 3, 4]
+        assert cdf_at(values, 0) == 0.0
+        assert cdf_at(values, 2) == 0.5
+        assert cdf_at(values, 10) == 1.0
+
+    def test_quantile(self):
+        values = list(range(1, 101))
+        assert quantile(values, 0.0) == 1
+        assert quantile(values, 1.0) == 100
+        with pytest.raises(ValueError):
+            quantile(values, 1.5)
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["x", 1], ["yyyy", 22]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("a")
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=200))
+def test_cdf_is_monotone_and_ends_at_one(values):
+    points = empirical_cdf(values)
+    fractions = [fraction for _value, fraction in points]
+    assert fractions == sorted(fractions)
+    assert fractions[-1] == pytest.approx(1.0)
+    xs = [value for value, _fraction in points]
+    assert xs == sorted(xs)
+
+
+@given(
+    st.lists(st.floats(min_value=0, max_value=1e6, allow_nan=False), min_size=1, max_size=100),
+    st.floats(min_value=0, max_value=1e6, allow_nan=False),
+)
+def test_cdf_at_is_bounded(values, threshold):
+    assert 0.0 <= cdf_at(values, threshold) <= 1.0
+
+
+class TestTablesOnSmallWorld:
+    def test_table_one_covers_all_venues(self, small_report):
+        rows = small_report.table_one()
+        assert {row.marketplace for row in rows} == {
+            "OpenSea", "LooksRare", "Rarible", "SuperRare", "Foundation", "Decentraland",
+        }
+        assert all(row.volume_usd >= 0 for row in rows)
+        # Sorted by volume, descending.
+        volumes = [row.volume_usd for row in rows]
+        assert volumes == sorted(volumes, reverse=True)
+
+    def test_table_two_shares_are_fractions(self, small_report):
+        for row in small_report.table_two():
+            assert 0.0 <= row.share_of_marketplace_volume <= 1.0
+            assert row.wash_volume_usd >= 0
+
+    def test_table_three_has_both_venues(self, small_report):
+        columns = small_report.table_three()
+        assert {column.marketplace for column in columns} == {"LooksRare", "Rarible"}
+        assert {column.outcome for column in columns} == {"successful", "failed"}
+
+    def test_figures_are_consistent_with_result(self, small_report):
+        result = small_report.result
+        account_figure = small_report.figure_account_counts()
+        assert sum(account_figure.counts.values()) == result.activity_count
+        patterns = small_report.figure_patterns()
+        assert sum(patterns.values()) == result.activity_count
+        lifetime = small_report.figure_lifetime_cdf()
+        assert 0 <= lifetime.fraction_within_one_day <= lifetime.fraction_within_ten_days <= 1
+
+    def test_figure_venn_counts_only_transaction_analysis_methods(self, small_report):
+        venn = small_report.figure_venn()
+        assert sum(venn.values()) <= small_report.result.activity_count
+        for key in venn:
+            assert set(key.split("+")) <= {"zero-risk", "common-funder", "common-exit"}
+
+    def test_volume_cdf_series_include_legit_baseline(self, small_report):
+        series = small_report.figure_volume_cdf()
+        labels = [item.label for item in series]
+        assert "Volume w/o wash trading" in labels
+
+    def test_creation_timeline_limited_to_top_ten(self, small_report):
+        timeline = small_report.figure_creation_timeline()
+        assert len(timeline) <= 10
+        for row in timeline:
+            assert row.activity_timestamps == sorted(row.activity_timestamps)
+
+    def test_funnel_rows_are_monotone(self, small_report):
+        rows = small_report.funnel()
+        nft_counts = [row.nft_count for row in rows]
+        assert nft_counts == sorted(nft_counts, reverse=True)
+
+    def test_render_text_contains_every_section(self, small_report):
+        text = small_report.render_text()
+        for marker in (
+            "Table I", "Table II", "Table III", "Refinement funnel",
+            "Temporal analysis", "Patterns", "Serial wash traders", "resale",
+        ):
+            assert marker in text

@@ -1,0 +1,143 @@
+"""Unit tests for transaction execution and block production."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.chain import COINBASE_ADDRESS, Chain
+from repro.chain.errors import (
+    ContractExecutionError,
+    InsufficientBalanceError,
+    InvalidTimestampError,
+)
+from repro.chain.types import Call
+from repro.contracts.erc721 import ERC721Collection
+from repro.utils.currency import eth_to_wei
+
+ALICE = "0x" + "a" * 40
+BOB = "0x" + "b" * 40
+
+
+@pytest.fixture()
+def chain():
+    fresh = Chain(genesis_timestamp=1_000_000)
+    fresh.faucet(ALICE, eth_to_wei(100))
+    return fresh
+
+
+class TestPlainTransfers:
+    def test_value_moves_and_fee_charged(self, chain):
+        tx = chain.transact(sender=ALICE, to=BOB, value_wei=eth_to_wei(1), timestamp=1_000_100)
+        assert chain.state.balance_of(BOB) == eth_to_wei(1)
+        assert chain.state.balance_of(ALICE) == eth_to_wei(100) - eth_to_wei(1) - tx.fee_wei
+        assert chain.state.balance_of(COINBASE_ADDRESS) == tx.fee_wei
+
+    def test_transaction_recorded_with_receipt(self, chain):
+        tx = chain.transact(sender=ALICE, to=BOB, value_wei=1, timestamp=1_000_100)
+        assert tx.succeeded
+        assert chain.transaction(tx.hash) is tx
+        assert tx.value_transfers[0].amount_wei == 1
+
+    def test_nonce_increments(self, chain):
+        first = chain.transact(sender=ALICE, to=BOB, value_wei=1, timestamp=1_000_100)
+        second = chain.transact(sender=ALICE, to=BOB, value_wei=1, timestamp=1_000_100)
+        assert second.nonce == first.nonce + 1
+
+    def test_insufficient_balance_raises(self, chain):
+        with pytest.raises(InsufficientBalanceError):
+            chain.transact(sender=BOB, to=ALICE, value_wei=eth_to_wei(1), timestamp=1_000_100)
+
+    def test_zero_value_transfer_allowed(self, chain):
+        tx = chain.transact(sender=ALICE, to=BOB, value_wei=0, timestamp=1_000_100)
+        assert tx.succeeded
+        assert tx.value_transfers == ()
+
+
+class TestBlocks:
+    def test_one_block_per_timestamp(self, chain):
+        chain.transact(sender=ALICE, to=BOB, value_wei=1, timestamp=1_000_100)
+        chain.transact(sender=ALICE, to=BOB, value_wei=1, timestamp=1_000_100)
+        chain.transact(sender=ALICE, to=BOB, value_wei=1, timestamp=1_000_200)
+        assert len(chain.blocks) == 2
+        assert len(chain.blocks[0]) == 2
+        assert chain.blocks[1].number == 1
+
+    def test_timestamps_must_not_go_backwards(self, chain):
+        chain.transact(sender=ALICE, to=BOB, value_wei=1, timestamp=1_000_200)
+        with pytest.raises(InvalidTimestampError):
+            chain.transact(sender=ALICE, to=BOB, value_wei=1, timestamp=1_000_100)
+
+    def test_head_metadata(self, chain):
+        assert chain.head_block_number == -1
+        chain.transact(sender=ALICE, to=BOB, value_wei=1, timestamp=1_000_300)
+        assert chain.head_block_number == 0
+        assert chain.head_timestamp == 1_000_300
+        assert chain.transaction_count() == 1
+
+
+class TestContractExecution:
+    def test_contract_call_emits_logs(self, chain):
+        collection = ERC721Collection("Apes", "APE")
+        address = chain.deploy_contract(collection)
+        tx = chain.transact(
+            sender=ALICE,
+            to=address,
+            call=Call("mint", {"to": ALICE}),
+            timestamp=1_000_100,
+        )
+        assert tx.succeeded
+        assert any(log.is_erc721_transfer for log in tx.logs)
+        assert collection.ownerOf(1) == ALICE
+
+    def test_revert_is_recorded_and_charges_gas(self, chain):
+        collection = ERC721Collection("Apes", "APE")
+        address = chain.deploy_contract(collection)
+        balance_before = chain.state.balance_of(ALICE)
+        with pytest.raises(ContractExecutionError):
+            chain.transact(
+                sender=ALICE,
+                to=address,
+                call=Call("transferFrom", {"sender": ALICE, "to": BOB, "token_id": 99}),
+                timestamp=1_000_100,
+            )
+        # The reverted transaction is still on chain, with status 0 and no logs.
+        reverted = chain.blocks[-1].transactions[-1]
+        assert not reverted.succeeded
+        assert reverted.logs == ()
+        assert chain.state.balance_of(ALICE) == balance_before - reverted.fee_wei
+
+    def test_unknown_function_reverts(self, chain):
+        collection = ERC721Collection("Apes", "APE")
+        address = chain.deploy_contract(collection)
+        with pytest.raises(ContractExecutionError):
+            chain.transact(
+                sender=ALICE, to=address, call=Call("selfDestruct", {}), timestamp=1_000_100
+            )
+
+    def test_deploy_contract_assigns_address_and_code(self, chain):
+        collection = ERC721Collection("Apes", "APE")
+        address = chain.deploy_contract(collection)
+        assert chain.state.is_contract(address)
+        assert collection.bound_address == address
+
+    def test_gas_price_override(self, chain):
+        tx = chain.transact(
+            sender=ALICE, to=BOB, value_wei=1, timestamp=1_000_100, gas_price_wei=7
+        )
+        assert tx.gas_price_wei == 7
+        assert tx.fee_wei == 7 * tx.gas_used
+
+
+class TestAccountIndex:
+    def test_sender_and_recipient_indexed(self, chain):
+        tx = chain.transact(sender=ALICE, to=BOB, value_wei=1, timestamp=1_000_100)
+        assert tx in chain.account_index.transactions_of(ALICE)
+        assert tx in chain.account_index.transactions_of(BOB)
+
+    def test_internal_transfer_parties_indexed(self, chain):
+        collection = ERC721Collection("Apes", "APE")
+        address = chain.deploy_contract(collection)
+        chain.transact(
+            sender=ALICE, to=address, call=Call("mint", {"to": ALICE}), timestamp=1_000_100
+        )
+        assert ALICE in chain.account_index

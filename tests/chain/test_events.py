@@ -1,0 +1,61 @@
+"""Unit tests for event log construction and classification."""
+
+from __future__ import annotations
+
+from repro.chain.events import (
+    Log,
+    erc1155_transfer_log,
+    erc20_transfer_log,
+    erc721_transfer_log,
+)
+from repro.utils.hashing import ERC721_TRANSFER_SIGNATURE
+
+ALICE = "0x" + "a" * 40
+BOB = "0x" + "b" * 40
+CONTRACT = "0x" + "c" * 40
+
+
+class TestERC721Log:
+    def test_has_four_topics(self):
+        log = erc721_transfer_log(CONTRACT, ALICE, BOB, 7)
+        assert len(log.topics) == 4
+
+    def test_signature_matches_standard(self):
+        log = erc721_transfer_log(CONTRACT, ALICE, BOB, 7)
+        assert log.signature == ERC721_TRANSFER_SIGNATURE
+
+    def test_classified_as_erc721(self):
+        log = erc721_transfer_log(CONTRACT, ALICE, BOB, 7)
+        assert log.is_erc721_transfer
+        assert not log.is_erc20_transfer
+        assert not log.is_erc1155_transfer
+
+    def test_token_id_encoded_in_topic(self):
+        log = erc721_transfer_log(CONTRACT, ALICE, BOB, 255)
+        assert int(log.topics[3], 16) == 255
+
+
+class TestERC20Log:
+    def test_has_three_topics_and_amount_data(self):
+        log = erc20_transfer_log(CONTRACT, ALICE, BOB, 1000)
+        assert len(log.topics) == 3
+        assert log.data["value"] == 1000
+
+    def test_shares_signature_but_not_classification(self):
+        log = erc20_transfer_log(CONTRACT, ALICE, BOB, 1000)
+        assert log.signature == ERC721_TRANSFER_SIGNATURE
+        assert log.is_erc20_transfer
+        assert not log.is_erc721_transfer
+
+
+class TestERC1155Log:
+    def test_different_signature(self):
+        log = erc1155_transfer_log(CONTRACT, ALICE, ALICE, BOB, 3, 10)
+        assert log.signature != ERC721_TRANSFER_SIGNATURE
+        assert log.is_erc1155_transfer
+        assert not log.is_erc721_transfer
+
+
+class TestLogBasics:
+    def test_empty_log_signature(self):
+        assert Log(address=CONTRACT, topics=()).signature == ""

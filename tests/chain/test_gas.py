@@ -1,0 +1,51 @@
+"""Unit tests for the gas model."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.chain.gas import GasPriceOracle, GasSchedule, INTRINSIC_TRANSFER_GAS
+
+
+class TestGasSchedule:
+    def test_plain_transfer_is_intrinsic(self):
+        assert GasSchedule().plain_transfer == INTRINSIC_TRANSFER_GAS
+
+    def test_marketplace_sale_costs_more_than_transfer(self):
+        schedule = GasSchedule()
+        assert schedule.for_function("buy") > schedule.plain_transfer
+
+    def test_known_functions_have_specific_costs(self):
+        schedule = GasSchedule()
+        assert schedule.for_function("claim") == schedule.reward_claim
+        assert schedule.for_function("transferFrom") == schedule.erc721_transfer
+        assert schedule.for_function("swap") == schedule.dex_swap
+
+    def test_unknown_function_uses_default(self):
+        schedule = GasSchedule()
+        assert schedule.for_function("someUnknownThing") == schedule.default_call
+
+
+class TestGasPriceOracle:
+    def test_price_is_positive(self):
+        oracle = GasPriceOracle()
+        assert oracle.price_gwei(0) > 0
+        assert oracle.price_wei(0) > 0
+
+    def test_price_is_deterministic(self):
+        oracle = GasPriceOracle()
+        assert oracle.price_wei(12345) == oracle.price_wei(12345)
+
+    def test_price_varies_within_a_day(self):
+        oracle = GasPriceOracle()
+        prices = {oracle.price_gwei(hour * 3600) for hour in range(24)}
+        assert len(prices) > 1
+
+    def test_floor_of_one_gwei(self):
+        oracle = GasPriceOracle(base_gwei=0.1, daily_amplitude_gwei=0, swell_amplitude_gwei=0)
+        assert oracle.price_gwei(0) == 1.0
+
+
+@given(st.integers(min_value=0, max_value=10**10))
+def test_gas_price_always_positive(timestamp):
+    assert GasPriceOracle().price_wei(timestamp) > 0

@@ -1,0 +1,104 @@
+"""Unit tests for the web3-like node facade."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.chain import Chain
+from repro.chain.node import EthereumNode
+from repro.chain.types import Call
+from repro.contracts.base import ERC721_INTERFACE_ID
+from repro.contracts.erc20 import ERC20Token
+from repro.contracts.erc721 import ERC721Collection
+from repro.utils.currency import eth_to_wei
+from repro.utils.hashing import ERC721_TRANSFER_SIGNATURE
+
+ALICE = "0x" + "a" * 40
+BOB = "0x" + "b" * 40
+
+
+@pytest.fixture()
+def populated():
+    chain = Chain(genesis_timestamp=1_000_000)
+    chain.faucet(ALICE, eth_to_wei(50))
+    nft = ERC721Collection("Apes", "APE")
+    nft_address = chain.deploy_contract(nft)
+    token = ERC20Token("Wrapped Ether", "WETH")
+    token_address = chain.deploy_contract(token)
+    chain.transact(sender=ALICE, to=nft_address, call=Call("mint", {"to": ALICE}), timestamp=1_000_100)
+    chain.transact(
+        sender=ALICE,
+        to=nft_address,
+        call=Call("transferFrom", {"sender": ALICE, "to": BOB, "token_id": 1}),
+        timestamp=1_000_200,
+    )
+    chain.transact(sender=ALICE, to=token_address, call=Call("mint", {"to": ALICE, "amount": 10}), timestamp=1_000_300)
+    return chain, EthereumNode(chain), nft_address, token_address
+
+
+class TestBlocksAndTransactions:
+    def test_block_number_tracks_head(self, populated):
+        chain, node, *_ = populated
+        assert node.block_number == chain.head_block_number
+
+    def test_get_block_out_of_range(self, populated):
+        _, node, *_ = populated
+        with pytest.raises(IndexError):
+            node.get_block(999)
+
+    def test_get_transaction_and_receipt(self, populated):
+        chain, node, *_ = populated
+        tx = chain.blocks[0].transactions[0]
+        assert node.get_transaction(tx.hash) is tx
+        assert node.get_transaction_receipt(tx.hash) is tx.receipt
+
+    def test_unknown_transaction_returns_none(self, populated):
+        _, node, *_ = populated
+        assert node.get_transaction("0x" + "0" * 64) is None
+
+    def test_transactions_of_account(self, populated):
+        _, node, *_ = populated
+        assert len(node.get_transactions_of(ALICE)) == 3
+        assert len(node.get_transactions_of(BOB)) == 1
+
+
+class TestLogFilters:
+    def test_topic_and_count_filter_selects_erc721_only(self, populated):
+        _, node, *_ = populated
+        matches = node.get_logs(topic0=ERC721_TRANSFER_SIGNATURE, topic_count=4)
+        assert len(matches) == 2  # mint + transfer, not the ERC-20 mint
+        assert all(log.is_erc721_transfer for _tx, log in matches)
+
+    def test_address_filter(self, populated):
+        _, node, nft_address, token_address = populated
+        assert all(
+            log.address == token_address
+            for _tx, log in node.get_logs(address=token_address)
+        )
+
+    def test_block_range_filter(self, populated):
+        _, node, *_ = populated
+        assert node.get_logs(from_block=0, to_block=0, topic_count=4)
+        assert not node.get_logs(from_block=99, to_block=120)
+
+
+class TestAccountsAndCalls:
+    def test_balance_and_code(self, populated):
+        chain, node, nft_address, _ = populated
+        assert node.get_balance(ALICE) == chain.state.balance_of(ALICE)
+        assert node.is_contract(nft_address)
+        assert not node.is_contract(ALICE)
+        assert node.get_code(ALICE) == b""
+
+    def test_supports_interface_call(self, populated):
+        _, node, nft_address, token_address = populated
+        assert node.call(nft_address, "supportsInterface", interface_id=ERC721_INTERFACE_ID) is True
+        assert (
+            node.call(token_address, "supportsInterface", interface_id=ERC721_INTERFACE_ID)
+            is False
+        )
+
+    def test_call_on_eoa_raises(self, populated):
+        _, node, *_ = populated
+        with pytest.raises(ValueError):
+            node.call(ALICE, "supportsInterface", interface_id=ERC721_INTERFACE_ID)

@@ -1,0 +1,109 @@
+"""Unit tests for accounts and the world state."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.chain.account import Account
+from repro.chain.errors import InsufficientBalanceError, UnknownAccountError
+from repro.chain.state import WorldState
+from repro.chain.types import NULL_ADDRESS
+
+
+class TestAccount:
+    def test_new_account_is_eoa(self):
+        account = Account(address="0x" + "1" * 40)
+        assert not account.is_contract
+
+    def test_code_marks_contract(self):
+        account = Account(address="0x" + "1" * 40, code=b"\x60\x80")
+        assert account.is_contract
+
+    def test_credit_and_debit(self):
+        account = Account(address="0x" + "1" * 40)
+        account.credit(100)
+        account.debit(40)
+        assert account.balance_wei == 60
+
+    def test_debit_beyond_balance_raises(self):
+        account = Account(address="0x" + "1" * 40, balance_wei=10)
+        with pytest.raises(ValueError):
+            account.debit(11)
+
+    def test_negative_amounts_rejected(self):
+        account = Account(address="0x" + "1" * 40)
+        with pytest.raises(ValueError):
+            account.credit(-1)
+        with pytest.raises(ValueError):
+            account.debit(-1)
+
+
+class TestWorldState:
+    def test_null_address_always_exists(self):
+        state = WorldState()
+        assert state.exists(NULL_ADDRESS)
+
+    def test_get_or_create_is_lazy(self):
+        state = WorldState()
+        address = "0x" + "a" * 40
+        assert not state.exists(address)
+        state.get_or_create(address)
+        assert state.exists(address)
+
+    def test_get_unknown_raises(self):
+        state = WorldState()
+        with pytest.raises(UnknownAccountError):
+            state.get("0x" + "b" * 40)
+
+    def test_balance_of_unknown_is_zero(self):
+        state = WorldState()
+        assert state.balance_of("0x" + "c" * 40) == 0
+
+    def test_transfer_moves_balance(self):
+        state = WorldState()
+        state.mint_ether("0x" + "a" * 40, 100)
+        state.transfer("0x" + "a" * 40, "0x" + "b" * 40, 30)
+        assert state.balance_of("0x" + "a" * 40) == 70
+        assert state.balance_of("0x" + "b" * 40) == 30
+
+    def test_transfer_insufficient_raises(self):
+        state = WorldState()
+        with pytest.raises(InsufficientBalanceError):
+            state.transfer("0x" + "a" * 40, "0x" + "b" * 40, 1)
+
+    def test_transfer_negative_raises(self):
+        state = WorldState()
+        with pytest.raises(ValueError):
+            state.transfer("0x" + "a" * 40, "0x" + "b" * 40, -5)
+
+    def test_deploy_marks_contract(self):
+        state = WorldState()
+        address = "0x" + "d" * 40
+        state.deploy(address, contract=object())
+        assert state.is_contract(address)
+        assert state.code_at(address) != b""
+        assert state.contract_at(address) is not None
+
+    def test_eoa_has_no_code(self):
+        state = WorldState()
+        state.get_or_create("0x" + "e" * 40)
+        assert state.code_at("0x" + "e" * 40) == b""
+        assert not state.is_contract("0x" + "e" * 40)
+
+
+@given(st.lists(st.tuples(st.integers(0, 2), st.integers(0, 2), st.integers(0, 10**18)), max_size=40))
+def test_total_supply_is_conserved_by_transfers(moves):
+    """Transfers never create or destroy ETH (conservation invariant)."""
+    state = WorldState()
+    addresses = ["0x" + str(i) * 40 for i in range(3)]
+    for address in addresses:
+        state.mint_ether(address, 10**18)
+    total_before = sum(state.balance_of(address) for address in addresses)
+    for source, destination, amount in moves:
+        try:
+            state.transfer(addresses[source], addresses[destination], amount)
+        except InsufficientBalanceError:
+            pass
+    total_after = sum(state.balance_of(address) for address in addresses)
+    assert total_after == total_before

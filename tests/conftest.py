@@ -1,0 +1,42 @@
+"""Shared fixtures.
+
+Worlds are expensive relative to unit tests, so the synthetic worlds and
+the pipeline runs over them are session-scoped: they are built once and
+shared by every test that only reads them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import PaperReport
+from repro.simulation.builder import build_default_world
+from repro.simulation.config import SimulationConfig
+
+
+@pytest.fixture(scope="session")
+def tiny_world():
+    """A minimal but complete synthetic world."""
+    return build_default_world(SimulationConfig.tiny())
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    """A mid-sized synthetic world with every scenario kind planted."""
+    return build_default_world(SimulationConfig.small())
+
+
+@pytest.fixture(scope="session")
+def tiny_report(tiny_world):
+    """A cached full pipeline run over the tiny world."""
+    report = PaperReport(tiny_world)
+    report.run()
+    return report
+
+
+@pytest.fixture(scope="session")
+def small_report(small_world):
+    """A cached full pipeline run over the small world."""
+    report = PaperReport(small_world)
+    report.run()
+    return report

@@ -1,0 +1,141 @@
+"""Unit tests for ERC-20, ERC-1155, non-compliant contracts and the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.chain import Chain
+from repro.chain.errors import ContractExecutionError
+from repro.chain.types import Call
+from repro.contracts.base import ERC721_INTERFACE_ID
+from repro.contracts.erc20 import ERC20Token
+from repro.contracts.erc1155 import ERC1155Collection
+from repro.contracts.noncompliant import NonCompliantNFTContract
+from repro.contracts.registry import ContractRegistry
+from repro.utils.currency import eth_to_wei
+
+ALICE = "0x" + "a" * 40
+BOB = "0x" + "b" * 40
+
+
+@pytest.fixture()
+def chain():
+    fresh = Chain(genesis_timestamp=1_000_000)
+    fresh.faucet(ALICE, eth_to_wei(10))
+    fresh.faucet(BOB, eth_to_wei(10))
+    return fresh
+
+
+class TestERC20:
+    def test_mint_and_transfer(self, chain):
+        token = ERC20Token("Wrapped Ether", "WETH")
+        address = chain.deploy_contract(token)
+        chain.transact(sender=ALICE, to=address, call=Call("mint", {"to": ALICE, "amount": 100}), timestamp=1_000_100)
+        chain.transact(sender=ALICE, to=address, call=Call("transfer", {"to": BOB, "amount": 40}), timestamp=1_000_200)
+        assert token.balanceOf(ALICE) == 60
+        assert token.balanceOf(BOB) == 40
+        assert token.totalSupply() == 100
+
+    def test_transfer_logs_have_three_topics(self, chain):
+        token = ERC20Token("Wrapped Ether", "WETH")
+        address = chain.deploy_contract(token)
+        tx = chain.transact(
+            sender=ALICE, to=address, call=Call("mint", {"to": ALICE, "amount": 5}), timestamp=1_000_100
+        )
+        assert len(tx.logs[0].topics) == 3
+        assert tx.logs[0].is_erc20_transfer
+
+    def test_overdraw_reverts(self, chain):
+        token = ERC20Token("Wrapped Ether", "WETH")
+        address = chain.deploy_contract(token)
+        with pytest.raises(ContractExecutionError):
+            chain.transact(
+                sender=ALICE, to=address, call=Call("transfer", {"to": BOB, "amount": 1}), timestamp=1_000_100
+            )
+
+    def test_burn_reduces_supply(self, chain):
+        token = ERC20Token("Wrapped Ether", "WETH")
+        address = chain.deploy_contract(token)
+        chain.transact(sender=ALICE, to=address, call=Call("mint", {"to": ALICE, "amount": 10}), timestamp=1_000_100)
+        chain.transact(sender=ALICE, to=address, call=Call("burn", {"amount": 4}), timestamp=1_000_200)
+        assert token.totalSupply() == 6
+
+    def test_not_erc721_compliant(self, chain):
+        token = ERC20Token("Wrapped Ether", "WETH")
+        assert not token.supportsInterface(ERC721_INTERFACE_ID)
+
+
+class TestERC1155:
+    def test_mint_and_transfer_units(self, chain):
+        collection = ERC1155Collection("Game Items")
+        address = chain.deploy_contract(collection)
+        chain.transact(
+            sender=ALICE, to=address, call=Call("mint", {"to": ALICE, "token_id": 7, "amount": 5}), timestamp=1_000_100
+        )
+        chain.transact(
+            sender=ALICE,
+            to=address,
+            call=Call("safeTransferFrom", {"sender": ALICE, "to": BOB, "token_id": 7, "amount": 2}),
+            timestamp=1_000_200,
+        )
+        assert collection.balanceOf(ALICE, 7) == 3
+        assert collection.balanceOf(BOB, 7) == 2
+
+    def test_logs_use_distinct_signature(self, chain):
+        collection = ERC1155Collection("Game Items")
+        address = chain.deploy_contract(collection)
+        tx = chain.transact(
+            sender=ALICE, to=address, call=Call("mint", {"to": ALICE, "token_id": 7, "amount": 5}), timestamp=1_000_100
+        )
+        assert tx.logs[0].is_erc1155_transfer
+        assert not tx.logs[0].is_erc721_transfer
+
+    def test_overdraw_reverts(self, chain):
+        collection = ERC1155Collection("Game Items")
+        address = chain.deploy_contract(collection)
+        with pytest.raises(ContractExecutionError):
+            chain.transact(
+                sender=ALICE,
+                to=address,
+                call=Call("safeTransferFrom", {"sender": ALICE, "to": BOB, "token_id": 1, "amount": 1}),
+                timestamp=1_000_100,
+            )
+
+
+class TestNonCompliant:
+    def test_emits_erc721_shaped_logs(self, chain):
+        contract = NonCompliantNFTContract("Legacy")
+        address = chain.deploy_contract(contract)
+        tx = chain.transact(sender=ALICE, to=address, call=Call("mint", {"to": ALICE}), timestamp=1_000_100)
+        assert tx.logs[0].is_erc721_transfer
+
+    def test_does_not_claim_erc721_support(self, chain):
+        contract = NonCompliantNFTContract("Legacy")
+        assert contract.supportsInterface(ERC721_INTERFACE_ID) is False
+
+    def test_broken_probe_raises(self, chain):
+        contract = NonCompliantNFTContract("Legacy", broken_erc165=True)
+        with pytest.raises(ValueError):
+            contract.supportsInterface(ERC721_INTERFACE_ID)
+
+
+class TestRegistry:
+    def test_register_and_lookup(self):
+        registry = ContractRegistry()
+        registry.register("0x" + "1" * 40, kind="erc721", name="Apes")
+        assert registry.name_of("0x" + "1" * 40) == "Apes"
+        assert "0x" + "1" * 40 in registry
+        assert len(list(registry.of_kind("erc721"))) == 1
+
+    def test_unknown_lookup_defaults(self):
+        registry = ContractRegistry()
+        assert registry.get("0x" + "2" * 40) is None
+        assert registry.name_of("0x" + "2" * 40) == "0x" + "2" * 40
+        assert registry.name_of("0x" + "2" * 40, default="n/a") == "n/a"
+
+    def test_len_and_iteration(self):
+        registry = ContractRegistry()
+        registry.register("0x" + "1" * 40, kind="erc721", name="A")
+        registry.register("0x" + "2" * 40, kind="dex", name="B")
+        assert len(registry) == 2
+        assert {info.name for info in registry} == {"A", "B"}

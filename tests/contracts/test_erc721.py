@@ -1,0 +1,180 @@
+"""Unit tests for the ERC-721 collection contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.chain import Chain
+from repro.chain.errors import ContractExecutionError
+from repro.chain.types import Call, NULL_ADDRESS
+from repro.contracts.base import ERC1155_INTERFACE_ID, ERC165_INTERFACE_ID, ERC721_INTERFACE_ID
+from repro.contracts.erc721 import ERC721Collection
+from repro.utils.currency import eth_to_wei
+
+ALICE = "0x" + "a" * 40
+BOB = "0x" + "b" * 40
+CAROL = "0x" + "c" * 40
+
+
+@pytest.fixture()
+def deployed():
+    chain = Chain(genesis_timestamp=1_000_000)
+    for account in (ALICE, BOB, CAROL):
+        chain.faucet(account, eth_to_wei(10))
+    collection = ERC721Collection("Apes", "APE", creation_timestamp=1_000_000)
+    address = chain.deploy_contract(collection)
+    return chain, collection, address
+
+
+def mint(chain, address, owner, ts=1_000_100):
+    return chain.transact(sender=owner, to=address, call=Call("mint", {"to": owner}), timestamp=ts)
+
+
+class TestMint:
+    def test_mint_assigns_sequential_ids(self, deployed):
+        chain, collection, address = deployed
+        mint(chain, address, ALICE)
+        mint(chain, address, BOB)
+        assert collection.ownerOf(1) == ALICE
+        assert collection.ownerOf(2) == BOB
+        assert collection.totalSupply() == 2
+
+    def test_mint_emits_transfer_from_null(self, deployed):
+        chain, _, address = deployed
+        tx = mint(chain, address, ALICE)
+        log = tx.logs[0]
+        assert log.topics[1] == NULL_ADDRESS
+        assert log.topics[2] == ALICE
+
+    def test_mint_duplicate_id_reverts(self, deployed):
+        chain, _, address = deployed
+        chain.transact(
+            sender=ALICE, to=address, call=Call("mint", {"to": ALICE, "token_id": 5}), timestamp=1_000_100
+        )
+        with pytest.raises(ContractExecutionError):
+            chain.transact(
+                sender=BOB, to=address, call=Call("mint", {"to": BOB, "token_id": 5}), timestamp=1_000_200
+            )
+
+    def test_balance_of_counts_held_tokens(self, deployed):
+        chain, collection, address = deployed
+        mint(chain, address, ALICE)
+        mint(chain, address, ALICE, ts=1_000_200)
+        assert collection.balanceOf(ALICE) == 2
+        assert collection.balanceOf(BOB) == 0
+
+
+class TestTransfer:
+    def test_owner_can_transfer(self, deployed):
+        chain, collection, address = deployed
+        mint(chain, address, ALICE)
+        chain.transact(
+            sender=ALICE,
+            to=address,
+            call=Call("transferFrom", {"sender": ALICE, "to": BOB, "token_id": 1}),
+            timestamp=1_000_200,
+        )
+        assert collection.ownerOf(1) == BOB
+        assert collection.balanceOf(ALICE) == 0
+        assert collection.balanceOf(BOB) == 1
+
+    def test_non_owner_cannot_transfer(self, deployed):
+        chain, _, address = deployed
+        mint(chain, address, ALICE)
+        with pytest.raises(ContractExecutionError):
+            chain.transact(
+                sender=BOB,
+                to=address,
+                call=Call("transferFrom", {"sender": ALICE, "to": BOB, "token_id": 1}),
+                timestamp=1_000_200,
+            )
+
+    def test_approved_operator_can_transfer(self, deployed):
+        chain, collection, address = deployed
+        mint(chain, address, ALICE)
+        chain.transact(
+            sender=ALICE,
+            to=address,
+            call=Call("setApprovalForAll", {"operator": CAROL, "approved": True}),
+            timestamp=1_000_200,
+        )
+        assert collection.is_approved(ALICE, CAROL)
+        chain.transact(
+            sender=CAROL,
+            to=address,
+            call=Call("transferFrom", {"sender": ALICE, "to": BOB, "token_id": 1}),
+            timestamp=1_000_300,
+        )
+        assert collection.ownerOf(1) == BOB
+
+    def test_revoked_operator_cannot_transfer(self, deployed):
+        chain, _, address = deployed
+        mint(chain, address, ALICE)
+        for approved in (True, False):
+            chain.transact(
+                sender=ALICE,
+                to=address,
+                call=Call("setApprovalForAll", {"operator": CAROL, "approved": approved}),
+                timestamp=1_000_200,
+            )
+        with pytest.raises(ContractExecutionError):
+            chain.transact(
+                sender=CAROL,
+                to=address,
+                call=Call("transferFrom", {"sender": ALICE, "to": BOB, "token_id": 1}),
+                timestamp=1_000_300,
+            )
+
+    def test_self_transfer_is_allowed(self, deployed):
+        chain, collection, address = deployed
+        mint(chain, address, ALICE)
+        tx = chain.transact(
+            sender=ALICE,
+            to=address,
+            call=Call("transferFrom", {"sender": ALICE, "to": ALICE, "token_id": 1}),
+            timestamp=1_000_200,
+        )
+        assert collection.ownerOf(1) == ALICE
+        assert tx.logs[0].topics[1] == tx.logs[0].topics[2] == ALICE
+
+    def test_transfer_of_unknown_token_reverts(self, deployed):
+        chain, _, address = deployed
+        with pytest.raises(ContractExecutionError):
+            chain.transact(
+                sender=ALICE,
+                to=address,
+                call=Call("transferFrom", {"sender": ALICE, "to": BOB, "token_id": 42}),
+                timestamp=1_000_100,
+            )
+
+
+class TestBurn:
+    def test_burn_removes_token(self, deployed):
+        chain, collection, address = deployed
+        mint(chain, address, ALICE)
+        chain.transact(
+            sender=ALICE, to=address, call=Call("burn", {"token_id": 1}), timestamp=1_000_200
+        )
+        assert collection.ownerOf(1) is None
+
+    def test_only_owner_can_burn(self, deployed):
+        chain, _, address = deployed
+        mint(chain, address, ALICE)
+        with pytest.raises(ContractExecutionError):
+            chain.transact(
+                sender=BOB, to=address, call=Call("burn", {"token_id": 1}), timestamp=1_000_200
+            )
+
+
+class TestIntrospection:
+    def test_supports_erc721_and_erc165(self, deployed):
+        _, collection, _ = deployed
+        assert collection.supportsInterface(ERC721_INTERFACE_ID)
+        assert collection.supportsInterface(ERC165_INTERFACE_ID)
+        assert not collection.supportsInterface(ERC1155_INTERFACE_ID)
+
+    def test_metadata_views(self, deployed):
+        _, collection, address = deployed
+        assert collection.name() == "Apes"
+        assert collection.symbol() == "APE"
+        assert collection.key_of(3).contract == address

@@ -1,0 +1,205 @@
+"""Unit tests for the profitability analysis (Sec. VI / VII)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.profitability.case_studies import (
+    best_resale_operation,
+    best_reward_operation,
+    find_rarity_games,
+)
+from repro.core.profitability.resale import analyze_resale_profitability
+from repro.core.profitability.rewards import analyze_reward_profitability
+from tests.helpers import make_micro_world, script_round_trip_wash
+
+
+def script_reward_farm(world, price_eth=50.0, rounds=4, claim=True, swap_day=None):
+    """A two-account LooksRare farm with funder, claims and exit."""
+    kit = world.kit
+    funder = world.account("farm-funder", funded_eth=price_eth * 3 + 50, day=1)
+    alice = world.account("farm-alice")
+    bob = world.account("farm-bob")
+    kit.transfer_eth(funder, alice, price_eth + 10, 1)
+    kit.transfer_eth(funder, bob, price_eth + 10, 1)
+    token_id = kit.mint(world.collection_address, alice, 2)
+    seller, buyer = alice, bob
+    price = price_eth
+    for _ in range(rounds):
+        kit.marketplace_sale("LooksRare", world.collection_address, token_id, seller, buyer, price, 2)
+        seller, buyer = buyer, seller
+        price = price * 0.98 - 0.01
+    if claim:
+        for account in (alice, bob):
+            kit.claim_rewards("LooksRare", account, 3)
+    exit_account = world.account("farm-exit")
+    for account in (alice, bob):
+        balance = kit.balance_eth(account)
+        if balance > 1:
+            kit.transfer_eth(account, exit_account, balance - 0.5, 4)
+    return alice, bob, token_id
+
+
+class TestRewardProfitability:
+    def test_claimed_farm_is_profitable(self):
+        world = make_micro_world()
+        script_reward_farm(world)
+        result = world.run_pipeline()
+        profitability = analyze_reward_profitability(result, world.dataset(), world.market_context())
+        looks = profitability["LooksRare"]
+        assert len(looks.outcomes) == 1
+        outcome = looks.outcomes[0]
+        assert outcome.claimed
+        assert outcome.rewards_usd > 0
+        assert outcome.tokens_claimed > 0
+        assert outcome.nftm_fees_usd > 0
+        assert outcome.transaction_fees_usd > 0
+        assert outcome.successful
+        assert looks.success_rate == 1.0
+
+    def test_unclaimed_farm_counted_separately(self):
+        world = make_micro_world()
+        script_reward_farm(world, claim=False)
+        result = world.run_pipeline()
+        profitability = analyze_reward_profitability(result, world.dataset(), world.market_context())
+        looks = profitability["LooksRare"]
+        assert looks.unclaimed_count == 1
+        assert not looks.outcomes
+
+    def test_fees_reduce_balance(self):
+        world = make_micro_world()
+        script_reward_farm(world)
+        result = world.run_pipeline()
+        profitability = analyze_reward_profitability(result, world.dataset(), world.market_context())
+        outcome = profitability["LooksRare"].outcomes[0]
+        assert outcome.balance_usd == pytest.approx(
+            outcome.rewards_usd - outcome.nftm_fees_usd - outcome.transaction_fees_usd
+        )
+
+    def test_table_three_stats(self):
+        world = make_micro_world()
+        script_reward_farm(world)
+        result = world.run_pipeline()
+        profitability = analyze_reward_profitability(result, world.dataset(), world.market_context())
+        looks = profitability["LooksRare"]
+        volume = looks.volume_stats_eth(successful=True)
+        gains = looks.gain_stats_usd(successful=True)
+        assert volume["min"] <= volume["mean"] <= volume["max"]
+        assert gains["total"] >= gains["max"] > 0
+        assert looks.volume_stats_eth(successful=False) == {"min": 0.0, "max": 0.0, "mean": 0.0}
+
+    def test_best_reward_operation_case_study(self):
+        world = make_micro_world()
+        script_reward_farm(world)
+        result = world.run_pipeline()
+        profitability = analyze_reward_profitability(result, world.dataset(), world.market_context())
+        best = best_reward_operation(profitability)
+        assert best is not None
+        assert best.venue == "LooksRare"
+
+
+class TestResaleProfitability:
+    def script_pump_and_dump(self, world, resale_price=20.0):
+        kit = world.kit
+        creator = world.account("creator", funded_eth=5)
+        funder = world.account("pump-funder", funded_eth=120, day=1)
+        alice = world.account("pump-alice")
+        bob = world.account("pump-bob")
+        kit.transfer_eth(funder, alice, 40, 1)
+        kit.transfer_eth(funder, bob, 40, 1)
+        token_id = kit.mint(world.collection_address, creator, 2)
+        kit.marketplace_sale("OpenSea", world.collection_address, token_id, creator, alice, 1.0, 2)
+        kit.marketplace_sale("OpenSea", world.collection_address, token_id, alice, bob, 5.0, 3)
+        kit.marketplace_sale("OpenSea", world.collection_address, token_id, bob, alice, 10.0, 4)
+        if resale_price:
+            victim = world.account("victim", funded_eth=resale_price + 5, day=5)
+            kit.marketplace_sale(
+                "OpenSea", world.collection_address, token_id, alice, victim, resale_price, 5
+            )
+        return token_id
+
+    def test_profitable_resale(self):
+        world = make_micro_world()
+        self.script_pump_and_dump(world, resale_price=20.0)
+        result = world.run_pipeline()
+        resale = analyze_resale_profitability(result, world.dataset(), world.market_context())
+        assert resale.total_activities == 1
+        outcome = resale.outcomes[0]
+        assert outcome.sold
+        assert outcome.buy_price_wei > 0
+        assert outcome.resell_price_wei > outcome.buy_price_wei
+        assert outcome.net_profit_eth > 0
+        assert outcome.net_profit_usd > 0
+        assert resale.success_rate_net() == 1.0
+
+    def test_unsold_nft_detected(self):
+        world = make_micro_world()
+        self.script_pump_and_dump(world, resale_price=0)
+        result = world.run_pipeline()
+        resale = analyze_resale_profitability(result, world.dataset(), world.market_context())
+        assert resale.unsold_count == 1
+        assert resale.unsold_fraction == 1.0
+
+    def test_losing_resale(self):
+        world = make_micro_world()
+        self.script_pump_and_dump(world, resale_price=0.5)
+        result = world.run_pipeline()
+        resale = analyze_resale_profitability(result, world.dataset(), world.market_context())
+        outcome = resale.outcomes[0]
+        assert outcome.sold
+        assert outcome.net_profit_eth < 0
+        assert resale.success_rate_net() == 0.0
+        assert resale.mean_loss_eth() > 0
+
+    def test_fees_push_marginal_resale_into_loss(self):
+        world = make_micro_world()
+        # Resell just barely above the buy price: gross positive, net negative.
+        self.script_pump_and_dump(world, resale_price=1.3)
+        result = world.run_pipeline()
+        resale = analyze_resale_profitability(result, world.dataset(), world.market_context())
+        outcome = resale.outcomes[0]
+        assert outcome.gross_profit_eth > 0
+        assert outcome.net_profit_eth < 0
+
+    def test_reward_venues_excluded_from_resale_analysis(self):
+        world = make_micro_world()
+        script_reward_farm(world)
+        result = world.run_pipeline()
+        resale = analyze_resale_profitability(result, world.dataset(), world.market_context())
+        assert resale.total_activities == 0
+
+    def test_best_resale_case_study(self):
+        world = make_micro_world()
+        self.script_pump_and_dump(world, resale_price=20.0)
+        result = world.run_pipeline()
+        resale = analyze_resale_profitability(result, world.dataset(), world.market_context())
+        best = best_resale_operation(resale.outcomes)
+        assert best is not None
+        assert best.net_profit_usd > 0
+
+
+class TestRarityGames:
+    def test_sell_and_return_pattern_found(self):
+        world = make_micro_world()
+        kit = world.kit
+        funder = world.account("rarity-funder", funded_eth=60, day=1)
+        seller = world.account("rarity-seller")
+        buyers = [world.account(f"rarity-buyer-{i}") for i in range(2)]
+        for member in (seller, *buyers):
+            kit.transfer_eth(funder, member, 10, 1)
+        token_id = kit.mint(world.collection_address, seller, 2)
+        for day, buyer in enumerate(buyers, start=3):
+            kit.marketplace_sale("OpenSea", world.collection_address, token_id, seller, buyer, 2.0, day)
+            kit.direct_transfer(world.collection_address, token_id, buyer, seller, day)
+        result = world.run_pipeline()
+        cases = find_rarity_games(result, min_rounds=2)
+        assert len(cases) == 1
+        assert cases[0].seller == seller
+        assert cases[0].paid_marketplace_sales == 2
+        assert cases[0].free_offmarket_returns == 2
+
+    def test_ordinary_wash_is_not_a_rarity_game(self):
+        world = make_micro_world()
+        script_round_trip_wash(world)
+        result = world.run_pipeline()
+        assert find_rarity_games(result) == []

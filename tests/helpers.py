@@ -1,0 +1,194 @@
+"""Hand-scripted micro-worlds for unit tests.
+
+Detector and profitability unit tests need precisely shaped on-chain
+histories (a specific funder topology, an exact payment cycle) rather
+than the statistical soup the full generator produces.  ``MicroWorld``
+wires together a chain, the six marketplaces, exchanges and a trading
+kit so a test can script those histories in a few lines and then run the
+real ingest + pipeline over them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.chain.chain import Chain
+from repro.chain.node import EthereumNode
+from repro.contracts.erc721 import ERC721Collection
+from repro.contracts.registry import ContractRegistry
+from repro.core.detectors.base import DetectionConfig
+from repro.core.detectors.pipeline import PipelineResult, WashTradingPipeline
+from repro.core.profitability.context import MarketContext
+from repro.ingest.dataset import NFTDataset, build_dataset
+from repro.marketplaces.venues import build_standard_marketplaces
+from repro.services.defi import OTCSwapDesk
+from repro.services.exchanges import CentralizedExchange
+from repro.services.labels import LabelRegistry
+from repro.services.oracle import PriceOracle
+from repro.simulation.actors import TradingKit
+from repro.simulation.timeline import TimeAllocator
+from repro.utils.currency import eth_to_wei
+from repro.utils.rng import DeterministicRNG
+from repro.utils.timeutil import SIMULATION_EPOCH
+
+
+@dataclass
+class MicroWorld:
+    """A tiny hand-driven world for scripting exact on-chain histories."""
+
+    chain: Chain
+    node: EthereumNode
+    labels: LabelRegistry
+    registry: ContractRegistry
+    oracle: PriceOracle
+    kit: TradingKit
+    marketplaces: object
+    exchange: CentralizedExchange
+    collection: ERC721Collection
+    collection_address: str
+    accounts: Dict[str, str] = field(default_factory=dict)
+
+    # -- accounts ---------------------------------------------------------------
+    def account(self, name: str, funded_eth: float = 0.0, day: int = 0) -> str:
+        """Get-or-create a named EOA, optionally funding it from the exchange."""
+        if name not in self.accounts:
+            self.accounts[name] = self.kit.new_account(name)
+            if funded_eth > 0:
+                self.exchange.withdraw_to(
+                    self.accounts[name],
+                    eth_to_wei(funded_eth),
+                    self.kit.clock.next_timestamp(day),
+                )
+        return self.accounts[name]
+
+    def fund(self, name: str, amount_eth: float, day: int = 0) -> None:
+        """Fund a named account from the exchange hot wallet."""
+        self.exchange.withdraw_to(
+            self.account(name), eth_to_wei(amount_eth), self.kit.clock.next_timestamp(day)
+        )
+
+    # -- running the real pipeline over the scripted history ------------------------
+    def dataset(self) -> NFTDataset:
+        """Build the Sec. III dataset from the scripted chain."""
+        return build_dataset(self.node, self.marketplaces.addresses_by_name)
+
+    def run_pipeline(self, config: Optional[DetectionConfig] = None) -> PipelineResult:
+        """Run the full detection pipeline over the scripted chain."""
+        pipeline = WashTradingPipeline(
+            labels=self.labels,
+            is_contract=self.chain.state.is_contract,
+            config=config,
+        )
+        return pipeline.run(self.dataset())
+
+    def market_context(self) -> MarketContext:
+        """The profitability-analysis metadata for this micro world."""
+        treasuries = {
+            name: venue.treasury_address
+            for name, venue in self.marketplaces.venues.items()
+        }
+        symbols = {
+            venue: token.token_symbol
+            for venue, token in self.marketplaces.reward_tokens.items()
+        }
+        return MarketContext(
+            marketplace_addresses=self.marketplaces.addresses_by_name,
+            treasury_addresses=treasuries,
+            distributor_addresses=dict(self.marketplaces.distributor_addresses),
+            reward_token_addresses=dict(self.marketplaces.reward_token_addresses),
+            reward_token_symbols=symbols,
+            oracle=self.oracle,
+        )
+
+
+def make_micro_world(seed: int = 11) -> MicroWorld:
+    """Build a fresh micro world with one collection and one exchange."""
+    chain = Chain(genesis_timestamp=SIMULATION_EPOCH)
+    labels = LabelRegistry()
+    registry = ContractRegistry()
+    oracle = PriceOracle()
+    marketplaces = build_standard_marketplaces(chain, labels, registry)
+    exchange = CentralizedExchange("Coinbase", chain, labels, initial_liquidity_eth=1_000_000)
+
+    collection = ERC721Collection("Test Apes", "TAPE", creation_timestamp=SIMULATION_EPOCH)
+    collection_address = chain.deploy_contract(collection)
+    registry.register(collection_address, kind="erc721", name="Test Apes")
+
+    otc = OTCSwapDesk()
+    otc_address = chain.deploy_contract(otc)
+    registry.register(otc_address, kind="other", name="OTC Desk")
+
+    clock = TimeAllocator(start_timestamp=SIMULATION_EPOCH)
+    kit = TradingKit(
+        chain=chain,
+        marketplaces=marketplaces,
+        collections={collection_address: collection},
+        exchanges=[exchange],
+        labels=labels,
+        clock=clock,
+        rng=DeterministicRNG(seed, "micro"),
+        otc_desk_address=otc_address,
+    )
+    return MicroWorld(
+        chain=chain,
+        node=EthereumNode(chain),
+        labels=labels,
+        registry=registry,
+        oracle=oracle,
+        kit=kit,
+        marketplaces=marketplaces,
+        exchange=exchange,
+        collection=collection,
+        collection_address=collection_address,
+    )
+
+
+def script_round_trip_wash(
+    world: MicroWorld,
+    venue: str = "OpenSea",
+    price_eth: float = 2.0,
+    rounds: int = 4,
+    with_funder: bool = True,
+    with_exit: bool = True,
+    start_day: int = 5,
+) -> Dict[str, str]:
+    """Script a classic two-account round-trip wash on a venue.
+
+    Returns the named addresses used, for assertions.
+    """
+    kit = world.kit
+    names: Dict[str, str] = {}
+    alice = world.account("wash-alice")
+    bob = world.account("wash-bob")
+    names["alice"], names["bob"] = alice, bob
+
+    funding_day = start_day - 1
+    if with_funder:
+        funder = world.account("wash-funder", funded_eth=3 * price_eth + 20, day=funding_day)
+        names["funder"] = funder
+        kit.transfer_eth(funder, alice, price_eth + 5, funding_day)
+        kit.transfer_eth(funder, bob, price_eth + 5, funding_day)
+    else:
+        world.fund("wash-alice", price_eth + 5, funding_day)
+        world.fund("wash-bob", price_eth + 5, funding_day)
+
+    token_id = kit.mint(world.collection_address, alice, start_day)
+    names["token_id"] = str(token_id)
+    seller, buyer = alice, bob
+    price = price_eth
+    fee = world.marketplaces.venue(venue).fee_bps / 10_000
+    for _ in range(rounds):
+        kit.marketplace_sale(venue, world.collection_address, token_id, seller, buyer, price, start_day)
+        seller, buyer = buyer, seller
+        price = max(price * (1 - fee) - 0.001, 0.01)
+
+    if with_exit:
+        exit_account = world.account("wash-exit")
+        names["exit"] = exit_account
+        exit_day = start_day + 1
+        for member in (alice, bob):
+            balance = kit.balance_eth(member)
+            if balance > 0.5:
+                kit.transfer_eth(member, exit_account, balance - 0.3, exit_day)
+    return names

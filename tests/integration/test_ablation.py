@@ -1,0 +1,95 @@
+"""Ablation tests for the design choices called out in DESIGN.md."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detectors.base import DetectionConfig
+from repro.core.detectors.pipeline import WashTradingPipeline
+from repro.core.refine import RefinementFunnel
+from repro.core.activity import DetectionMethod
+
+
+def run_with_funnel(world, **funnel_kwargs):
+    funnel = RefinementFunnel(world.labels, world.is_contract, **funnel_kwargs)
+    pipeline = WashTradingPipeline(
+        labels=world.labels, is_contract=world.is_contract, funnel=funnel
+    )
+    from repro.ingest.dataset import build_dataset
+
+    dataset = build_dataset(world.node, world.marketplace_addresses)
+    return pipeline.run(dataset)
+
+
+class TestRefinementAblation:
+    def test_skipping_service_removal_inflates_candidates(self, tiny_world, tiny_report):
+        ablated = run_with_funnel(tiny_world, skip_service_removal=True)
+        assert ablated.candidate_count >= tiny_report.result.candidate_count
+
+    def test_skipping_zero_volume_removal_inflates_candidates(self, tiny_world, tiny_report):
+        ablated = run_with_funnel(tiny_world, skip_zero_volume_removal=True)
+        assert ablated.candidate_count > tiny_report.result.candidate_count
+
+    def test_skipping_contract_removal_never_reduces_candidates(self, tiny_world, tiny_report):
+        ablated = run_with_funnel(tiny_world, skip_contract_removal=True)
+        assert ablated.candidate_count >= tiny_report.result.candidate_count
+
+    def test_planted_negatives_stay_out_only_with_full_refinement(self, tiny_world):
+        ablated = run_with_funnel(
+            tiny_world,
+            skip_service_removal=True,
+            skip_contract_removal=True,
+            skip_zero_volume_removal=True,
+        )
+        negatives = {item.nft for item in tiny_world.ground_truth.planted_negatives()}
+        candidate_nfts = {component.nft for component in ablated.refinement.candidates}
+        assert negatives & candidate_nfts  # without refinement, noise becomes candidates
+
+
+class TestDetectorAblation:
+    def test_each_method_contributes(self, small_world, small_report):
+        """Removing any single confirmation technique loses activities
+        unless another technique also covers them; the union is maximal."""
+        from repro.ingest.dataset import build_dataset
+
+        dataset = small_report.dataset
+        full_count = small_report.result.activity_count
+        for removed in (DetectionMethod.COMMON_FUNDER, DetectionMethod.COMMON_EXIT):
+            remaining = set(DetectionMethod) - {removed}
+            pipeline = WashTradingPipeline(
+                labels=small_world.labels,
+                is_contract=small_world.is_contract,
+                enabled_methods=remaining,
+            )
+            result = pipeline.run(dataset)
+            assert result.activity_count <= full_count
+
+    def test_funder_and_exit_cover_most_activities(self, small_world, small_report):
+        pipeline = WashTradingPipeline(
+            labels=small_world.labels,
+            is_contract=small_world.is_contract,
+            enabled_methods={DetectionMethod.COMMON_FUNDER, DetectionMethod.COMMON_EXIT},
+        )
+        result = pipeline.run(small_report.dataset)
+        assert result.activity_count / small_report.result.activity_count > 0.7
+
+    def test_zero_risk_alone_is_weak(self, small_world, small_report):
+        pipeline = WashTradingPipeline(
+            labels=small_world.labels,
+            is_contract=small_world.is_contract,
+            enabled_methods={DetectionMethod.ZERO_RISK},
+        )
+        result = pipeline.run(small_report.dataset)
+        assert result.activity_count < small_report.result.activity_count / 2
+
+
+class TestZeroRiskToleranceAblation:
+    def test_widening_tolerance_confirms_more_by_zero_risk(self, small_world, small_report):
+        strict = small_report.result.count_by_method().get(DetectionMethod.ZERO_RISK, 0)
+        lax_pipeline = WashTradingPipeline(
+            labels=small_world.labels,
+            is_contract=small_world.is_contract,
+            config=DetectionConfig(zero_risk_relative_tolerance=0.1),
+        )
+        lax = lax_pipeline.run(small_report.dataset).count_by_method().get(DetectionMethod.ZERO_RISK, 0)
+        assert lax >= strict

@@ -1,0 +1,109 @@
+"""End-to-end tests: world -> dataset -> detection vs ground truth."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.activity import DetectionMethod
+from repro.simulation.ground_truth import (
+    KIND_P2P_WASH,
+    KIND_RARITY_GAME,
+    KIND_REWARD_FARM,
+    KIND_SELF_TRADE,
+)
+
+
+class TestDetectionAgainstGroundTruth:
+    def test_recall_on_planted_activities(self, small_world, small_report):
+        score = small_world.ground_truth.match_against(small_report.result.washed_nfts())
+        assert score.recall >= 0.9
+
+    def test_no_planted_negative_leaks_through(self, small_world, small_report):
+        score = small_world.ground_truth.match_against(small_report.result.washed_nfts())
+        assert score.leaked_planted_negatives == 0
+
+    def test_no_false_positives_on_legit_nfts(self, small_world, small_report):
+        planted_nfts = {item.nft for item in small_world.ground_truth.activities}
+        false_positives = small_report.result.washed_nfts() - planted_nfts
+        assert not false_positives
+
+    def test_reward_farms_detected_on_their_venue(self, small_world, small_report):
+        farms = {
+            item.nft
+            for item in small_world.ground_truth.of_kind(KIND_REWARD_FARM)
+            if item.venue == "LooksRare"
+        }
+        detected_on_looksrare = {
+            activity.nft for activity in small_report.result.activities_on("LooksRare")
+        }
+        assert farms
+        assert len(farms & detected_on_looksrare) / len(farms) >= 0.8
+
+    def test_self_trades_confirmed_by_self_trade_method(self, small_world, small_report):
+        planted = {item.nft for item in small_world.ground_truth.of_kind(KIND_SELF_TRADE)}
+        confirmed = {
+            activity.nft
+            for activity in small_report.result.activities
+            if activity.detected_by(DetectionMethod.SELF_TRADE)
+        }
+        assert planted
+        assert planted <= confirmed
+
+    def test_zero_risk_method_fires_on_otc_washes(self, small_world, small_report):
+        planted_zero_risk = {
+            item.nft
+            for item in small_world.ground_truth.of_kind(KIND_P2P_WASH)
+            if item.metadata.get("zero_risk")
+        }
+        if not planted_zero_risk:
+            pytest.skip("no zero-risk P2P wash planted in this seed")
+        confirmed_zero_risk = {
+            activity.nft
+            for activity in small_report.result.activities
+            if activity.detected_by(DetectionMethod.ZERO_RISK)
+        }
+        assert planted_zero_risk & confirmed_zero_risk
+
+    def test_rarity_games_detected(self, small_world, small_report):
+        from repro.core.profitability.case_studies import find_rarity_games
+
+        planted = small_world.ground_truth.of_kind(KIND_RARITY_GAME)
+        cases = find_rarity_games(small_report.result)
+        assert planted
+        assert cases
+
+    def test_funnel_strictly_narrows(self, small_report):
+        stages = small_report.result.refinement.stages
+        nft_counts = [stage.nft_count for stage in stages]
+        assert nft_counts[0] > nft_counts[-1]
+        assert nft_counts == sorted(nft_counts, reverse=True)
+
+    def test_most_activities_confirmed_by_multiple_methods(self, small_report):
+        result = small_report.result
+        assert result.confirmed_by_at_least(2) / max(result.activity_count, 1) > 0.5
+
+
+class TestProfitabilityEndToEnd:
+    def test_reward_farming_is_mostly_profitable(self, small_report):
+        profitability = small_report.reward_profitability()
+        looks = profitability["LooksRare"]
+        assert looks.outcomes
+        assert looks.success_rate > 0.6
+        assert looks.gain_stats_usd(successful=True)["mean"] > 0
+
+    def test_reward_gains_dwarf_losses(self, small_report):
+        looks = small_report.reward_profitability()["LooksRare"]
+        gains = looks.gain_stats_usd(successful=True)
+        losses = looks.gain_stats_usd(successful=False)
+        assert gains["total"] > abs(losses["total"])
+
+    def test_resale_success_is_roughly_even(self, small_report):
+        resale = small_report.resale_profitability()
+        sold = resale.sold
+        if len(sold) < 5:
+            pytest.skip("too few resales in this seed to be meaningful")
+        assert 0.2 <= resale.success_rate_net() <= 0.85
+
+    def test_some_nfts_are_never_resold(self, small_report):
+        resale = small_report.resale_profitability()
+        assert resale.unsold_count > 0

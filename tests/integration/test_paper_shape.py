@@ -1,0 +1,101 @@
+"""Qualitative acceptance tests: the paper's headline findings must hold
+in shape on the generated world (see DESIGN.md, experiment index)."""
+
+from __future__ import annotations
+
+import pytest
+
+
+class TestTableShapes:
+    def test_opensea_leads_nft_and_transaction_counts(self, small_report):
+        """Table I: OpenSea is the busiest venue by NFTs and transactions."""
+        rows = {row.marketplace: row for row in small_report.table_one()}
+        opensea = rows["OpenSea"]
+        for name, row in rows.items():
+            if name == "OpenSea":
+                continue
+            assert opensea.nft_count >= row.nft_count
+            assert opensea.transaction_count >= row.transaction_count
+
+    def test_looksrare_dominates_wash_volume(self, small_report):
+        """Table II: LooksRare carries the overwhelming majority of wash volume."""
+        rows = {row.marketplace: row for row in small_report.table_two()}
+        total = sum(row.wash_volume_usd for row in rows.values())
+        assert total > 0
+        assert rows["LooksRare"].wash_volume_usd / total > 0.8
+
+    def test_looksrare_wash_share_of_its_own_volume_is_high(self, small_report):
+        rows = {row.marketplace: row for row in small_report.table_two()}
+        assert rows["LooksRare"].share_of_marketplace_volume > 0.5
+
+    def test_opensea_has_most_wash_operations_but_small_share(self, small_report):
+        rows = {row.marketplace: row for row in small_report.table_two()}
+        others = [row for name, row in rows.items() if name != "OpenSea"]
+        assert rows["OpenSea"].washed_nft_count >= max(row.washed_nft_count for row in others)
+        assert rows["OpenSea"].share_of_marketplace_volume < rows["LooksRare"].share_of_marketplace_volume
+
+    def test_foundation_has_no_wash_trading(self, small_report):
+        """The 15% fee keeps wash trading off Foundation entirely."""
+        rows = {row.marketplace: row for row in small_report.table_two()}
+        assert rows["Foundation"].washed_nft_count == 0
+        assert rows["Foundation"].wash_volume_usd == 0
+
+    def test_reward_exploitation_beats_resale(self, small_report):
+        """Sec. VI: farming rewards succeeds far more often than resale pumping."""
+        looks = small_report.reward_profitability()["LooksRare"]
+        resale = small_report.resale_profitability()
+        if not resale.sold:
+            pytest.skip("no resales in this seed")
+        assert looks.success_rate > resale.success_rate_net()
+
+
+class TestFigureShapes:
+    def test_two_account_round_trip_dominates(self, small_report):
+        """Fig. 6/7: ~60% of activities use exactly two accounts."""
+        fractions = small_report.figure_account_counts().fractions
+        assert fractions["2"] > 0.4
+        assert fractions["2"] == max(fractions.values())
+        patterns = small_report.figure_patterns()
+        assert patterns.get("pattern-1", 0) == max(patterns.values())
+
+    def test_lifetimes_are_short(self, small_report):
+        """Fig. 4: a large share of activities lasts at most a day, most at most ten."""
+        lifetime = small_report.figure_lifetime_cdf()
+        assert lifetime.fraction_within_one_day > 0.15
+        assert lifetime.fraction_within_ten_days > 0.45
+        assert lifetime.fraction_within_ten_days >= lifetime.fraction_within_one_day
+
+    def test_wash_activities_cluster_near_collection_creation(self, small_world, small_report):
+        """Fig. 5: wash events happen close to the creation of the collection."""
+        from repro.core.characterization.temporal import creation_proximity
+
+        proximities = creation_proximity(
+            small_report.result, small_world.collection_creation_timestamps()
+        )
+        assert proximities
+        near = sum(1 for days in proximities if days <= 30)
+        assert near / len(proximities) > 0.6
+
+    def test_wash_volumes_exceed_legit_volumes(self, small_report):
+        """Fig. 3: wash activities move far more volume than ordinary NFTs."""
+        series = {item.label: item.points for item in small_report.figure_volume_cdf()}
+        legit = series.pop("Volume w/o wash trading")
+        legit_median = legit[len(legit) // 2][0]
+        looksrare = series.get("LooksRare")
+        if not looksrare:
+            pytest.skip("no LooksRare wash series in this seed")
+        looksrare_median = looksrare[len(looksrare) // 2][0]
+        assert looksrare_median > legit_median
+
+    def test_funder_exit_overlap_is_largest_venn_region(self, small_report):
+        """Fig. 2: funder+exit is the most common confirmation combination."""
+        venn = small_report.figure_venn()
+        assert venn
+        largest = max(venn, key=venn.get)
+        assert "common-funder" in largest and "common-exit" in largest
+
+    def test_serial_minority_does_majority_of_activities(self, small_report):
+        """Sec. V-D: a minority of accounts takes part in most activities."""
+        serial = small_report.serial_traders()
+        assert serial.serial_account_fraction < 0.5
+        assert serial.serial_activity_fraction > 0.5

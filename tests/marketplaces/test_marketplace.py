@@ -1,0 +1,180 @@
+"""Unit tests for marketplace sale mechanics, escrow and fee routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.errors import ContractExecutionError
+from repro.chain.types import Call
+from repro.marketplaces.venues import MARKETPLACE_FEE_BPS
+from repro.utils.currency import eth_to_wei, wei_to_eth
+from tests.helpers import make_micro_world
+
+
+@pytest.fixture()
+def world():
+    return make_micro_world()
+
+
+def setup_sale(world, venue="OpenSea", price=2.0):
+    kit = world.kit
+    seller = world.account("seller", funded_eth=5)
+    buyer = world.account("buyer", funded_eth=price + 5)
+    token_id = kit.mint(world.collection_address, seller, day=1)
+    tx = kit.marketplace_sale(venue, world.collection_address, token_id, seller, buyer, price, day=1)
+    return seller, buyer, token_id, tx
+
+
+class TestDirectSale:
+    def test_nft_moves_to_buyer(self, world):
+        seller, buyer, token_id, _ = setup_sale(world)
+        assert world.collection.ownerOf(token_id) == buyer
+
+    def test_seller_receives_price_minus_fee(self, world):
+        price = 2.0
+        seller, _, _, _ = setup_sale(world, price=price)
+        fee_fraction = MARKETPLACE_FEE_BPS["OpenSea"] / 10_000
+        expected = 5 - 0.1 + price * (1 - fee_fraction)  # funding minus some gas
+        assert world.kit.balance_eth(seller) == pytest.approx(expected, abs=0.2)
+
+    def test_fee_lands_in_treasury(self, world):
+        price = 2.0
+        setup_sale(world, price=price)
+        venue = world.marketplaces.venue("OpenSea")
+        fee = price * MARKETPLACE_FEE_BPS["OpenSea"] / 10_000
+        assert wei_to_eth(world.chain.state.balance_of(venue.treasury_address)) == pytest.approx(fee)
+
+    def test_sale_transaction_interacts_with_marketplace(self, world):
+        _, _, _, tx = setup_sale(world)
+        assert tx.to == world.marketplaces.address_of("OpenSea")
+        assert any(log.is_erc721_transfer for log in tx.logs)
+
+    def test_sale_recorded_in_venue_book(self, world):
+        setup_sale(world)
+        venue = world.marketplaces.venue("OpenSea")
+        assert venue.sale_count == 1
+        assert venue.total_volume_wei == eth_to_wei(2.0)
+
+    def test_wrong_value_reverts(self, world):
+        kit = world.kit
+        seller = world.account("seller2", funded_eth=5)
+        buyer = world.account("buyer2", funded_eth=5)
+        token_id = kit.mint(world.collection_address, seller, day=1)
+        kit.ensure_approval(seller, world.collection_address, world.marketplaces.address_of("OpenSea"), 1)
+        with pytest.raises(ContractExecutionError):
+            world.chain.transact(
+                sender=buyer,
+                to=world.marketplaces.address_of("OpenSea"),
+                value_wei=eth_to_wei(0.5),
+                call=Call(
+                    "buy",
+                    {
+                        "collection": world.collection_address,
+                        "token_id": token_id,
+                        "seller": seller,
+                        "price_wei": eth_to_wei(1.0),
+                    },
+                ),
+                timestamp=world.kit.clock.next_timestamp(1),
+            )
+
+    def test_selling_someone_elses_nft_reverts(self, world):
+        kit = world.kit
+        seller = world.account("seller3", funded_eth=5)
+        other = world.account("other3", funded_eth=5)
+        buyer = world.account("buyer3", funded_eth=5)
+        token_id = kit.mint(world.collection_address, other, day=1)
+        with pytest.raises(ContractExecutionError):
+            kit.marketplace_sale("OpenSea", world.collection_address, token_id, seller, buyer, 1.0, day=1)
+
+    def test_zero_price_sale_moves_no_value(self, world):
+        kit = world.kit
+        seller = world.account("seller4", funded_eth=5)
+        buyer = world.account("buyer4", funded_eth=5)
+        token_id = kit.mint(world.collection_address, seller, day=1)
+        tx = kit.marketplace_sale("OpenSea", world.collection_address, token_id, seller, buyer, 0.0, day=1)
+        assert tx.value_wei == 0
+        assert world.collection.ownerOf(token_id) == buyer
+
+
+class TestEscrowVenue:
+    def test_escrowed_sale_flows_through_escrow_account(self, world):
+        kit = world.kit
+        seller = world.account("escrow-seller", funded_eth=10)
+        buyer = world.account("escrow-buyer", funded_eth=10)
+        token_id = kit.mint(world.collection_address, seller, day=1)
+        venue = world.marketplaces.venue("Foundation")
+        kit.marketplace_sale("Foundation", world.collection_address, token_id, seller, buyer, 3.0, day=1)
+        assert world.collection.ownerOf(token_id) == buyer
+        # The deposit leg moved the NFT through the escrow EOA.
+        holders = [
+            log.topics[2]
+            for _tx, log in world.node.get_logs(topic_count=4)
+            if int(log.topics[3], 16) == token_id
+        ]
+        assert venue.escrow_address in holders
+
+    def test_foundation_fee_is_fifteen_percent(self, world):
+        venue = world.marketplaces.venue("Foundation")
+        assert venue.fee_bps == 1500
+        assert venue.fee_for(eth_to_wei(1)) == eth_to_wei(0.15)
+
+    def test_escrow_release_returns_nft(self, world):
+        kit = world.kit
+        seller = world.account("delister", funded_eth=10)
+        token_id = kit.mint(world.collection_address, seller, day=1)
+        venue = world.marketplaces.venue("Foundation")
+        kit.ensure_approval(seller, world.collection_address, venue.bound_address, 1)
+        world.chain.transact(
+            sender=seller,
+            to=venue.bound_address,
+            call=Call("depositToEscrow", {"collection": world.collection_address, "token_id": token_id}),
+            timestamp=kit.clock.next_timestamp(1),
+        )
+        assert world.collection.ownerOf(token_id) == venue.escrow_address
+        # The venue backend grants its sale contract operator rights over
+        # the escrow wallet (the kit does this automatically during sales).
+        kit.ensure_approval(venue.escrow_address, world.collection_address, venue.bound_address, 1)
+        world.chain.transact(
+            sender=seller,
+            to=venue.bound_address,
+            call=Call("releaseFromEscrow", {"collection": world.collection_address, "token_id": token_id}),
+            timestamp=kit.clock.next_timestamp(1),
+        )
+        assert world.collection.ownerOf(token_id) == seller
+
+    def test_non_escrow_venue_rejects_deposit(self, world):
+        kit = world.kit
+        seller = world.account("nondepositor", funded_eth=5)
+        token_id = kit.mint(world.collection_address, seller, day=1)
+        with pytest.raises(ContractExecutionError):
+            world.chain.transact(
+                sender=seller,
+                to=world.marketplaces.address_of("OpenSea"),
+                call=Call("depositToEscrow", {"collection": world.collection_address, "token_id": token_id}),
+                timestamp=kit.clock.next_timestamp(1),
+            )
+
+
+class TestVenueCatalogue:
+    def test_all_six_venues_deployed(self, world):
+        assert set(world.marketplaces.venues) == {
+            "OpenSea", "LooksRare", "Rarible", "SuperRare", "Foundation", "Decentraland",
+        }
+
+    def test_fee_schedule_matches_paper(self, world):
+        assert world.marketplaces.venue("OpenSea").fee_bps == 250
+        assert world.marketplaces.venue("LooksRare").fee_bps == 200
+        assert world.marketplaces.venue("Rarible").fee_bps == 200
+        assert world.marketplaces.venue("Foundation").fee_bps == 1500
+
+    def test_only_looksrare_and_rarible_have_reward_programs(self, world):
+        for name, venue in world.marketplaces.venues.items():
+            if name in ("LooksRare", "Rarible"):
+                assert venue.reward_program is not None
+            else:
+                assert venue.reward_program is None
+
+    def test_marketplaces_are_labelled(self, world):
+        for name, address in world.marketplaces.addresses_by_name.items():
+            assert world.labels.has_label(address, "marketplace")

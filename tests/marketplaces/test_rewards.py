@@ -1,0 +1,126 @@
+"""Unit tests for the token reward programs (Eq. 1) and claim flow."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.errors import ContractExecutionError
+from repro.chain.types import Call
+from repro.contracts.erc20 import ERC20Token
+from repro.marketplaces.rewards import RewardProgram, RewardSchedule
+from repro.utils.currency import eth_to_wei
+from repro.utils.timeutil import SIMULATION_EPOCH, day_of
+from tests.helpers import make_micro_world
+
+EPOCH_DAY = day_of(SIMULATION_EPOCH)
+
+
+class TestRewardProgramFormula:
+    def make_program(self, emission=1000.0):
+        token = ERC20Token("LooksRare Token", "LOOKS")
+        return RewardProgram("LooksRare", token, RewardSchedule(daily_emission=emission))
+
+    def test_single_trader_takes_full_emission(self):
+        program = self.make_program()
+        program.record_volume("0xabc", eth_to_wei(10), day=EPOCH_DAY)
+        assert program.reward_for_day("0xabc", EPOCH_DAY) == 1000 * 10**18
+
+    def test_rewards_are_proportional_to_volume(self):
+        program = self.make_program()
+        program.record_volume("0xaaa", eth_to_wei(30), day=EPOCH_DAY)
+        program.record_volume("0xbbb", eth_to_wei(10), day=EPOCH_DAY)
+        reward_a = program.reward_for_day("0xaaa", EPOCH_DAY)
+        reward_b = program.reward_for_day("0xbbb", EPOCH_DAY)
+        assert reward_a == 3 * reward_b
+        assert reward_a + reward_b <= 1000 * 10**18
+
+    def test_no_volume_no_reward(self):
+        program = self.make_program()
+        assert program.reward_for_day("0xabc", EPOCH_DAY) == 0
+
+    def test_zero_and_negative_volume_ignored(self):
+        program = self.make_program()
+        program.record_volume("0xabc", 0, day=EPOCH_DAY)
+        program.record_volume("0xabc", -5, day=EPOCH_DAY)
+        assert program.total_volume(EPOCH_DAY) == 0
+
+    def test_pending_excludes_current_day(self):
+        program = self.make_program()
+        program.record_volume("0xabc", eth_to_wei(10), day=EPOCH_DAY)
+        assert program.pending_rewards("0xabc", current_day=EPOCH_DAY) == 0
+        assert program.pending_rewards("0xabc", current_day=EPOCH_DAY + 1) == 1000 * 10**18
+
+    def test_pending_accumulates_multiple_days(self):
+        program = self.make_program()
+        program.record_volume("0xabc", eth_to_wei(10), day=EPOCH_DAY)
+        program.record_volume("0xabc", eth_to_wei(10), day=EPOCH_DAY + 1)
+        assert program.pending_rewards("0xabc", current_day=EPOCH_DAY + 2) == 2000 * 10**18
+
+    def test_claim_marks_days_settled(self):
+        program = self.make_program()
+        program.record_volume("0xabc", eth_to_wei(10), day=EPOCH_DAY)
+        program.mark_claimed("0xabc", through_day=EPOCH_DAY + 1)
+        assert program.pending_rewards("0xabc", current_day=EPOCH_DAY + 5) == 0
+
+    def test_schedule_window(self):
+        schedule = RewardSchedule(daily_emission=100, start_day=10, end_day=20)
+        assert schedule.emission_on(9) == 0
+        assert schedule.emission_on(10) == 100 * 10**18
+        assert schedule.emission_on(21) == 0
+
+
+class TestClaimFlow:
+    def test_claim_mints_tokens_after_trading_day(self):
+        world = make_micro_world()
+        kit = world.kit
+        seller = world.account("s", funded_eth=20)
+        buyer = world.account("b", funded_eth=20)
+        token_id = kit.mint(world.collection_address, seller, day=1)
+        kit.marketplace_sale("LooksRare", world.collection_address, token_id, seller, buyer, 5.0, day=1)
+        claim_tx = kit.claim_rewards("LooksRare", buyer, day=2)
+        assert claim_tx is not None
+        looks = world.marketplaces.reward_tokens["LooksRare"]
+        assert looks.balanceOf(buyer) > 0
+        # The claim transaction's recipient is the distributor contract.
+        assert claim_tx.to == world.marketplaces.distributor_addresses["LooksRare"]
+
+    def test_claim_same_day_yields_nothing(self):
+        world = make_micro_world()
+        kit = world.kit
+        seller = world.account("s", funded_eth=20)
+        buyer = world.account("b", funded_eth=20)
+        token_id = kit.mint(world.collection_address, seller, day=1)
+        kit.marketplace_sale("LooksRare", world.collection_address, token_id, seller, buyer, 5.0, day=1)
+        assert kit.claim_rewards("LooksRare", buyer, day=1) is None
+
+    def test_both_sides_of_a_trade_accrue_volume(self):
+        world = make_micro_world()
+        kit = world.kit
+        seller = world.account("s", funded_eth=20)
+        buyer = world.account("b", funded_eth=20)
+        token_id = kit.mint(world.collection_address, seller, day=1)
+        kit.marketplace_sale("LooksRare", world.collection_address, token_id, seller, buyer, 5.0, day=1)
+        program = world.marketplaces.venue("LooksRare").reward_program
+        trading_day = EPOCH_DAY + 1
+        assert program.volume_of(seller, trading_day) == eth_to_wei(5)
+        assert program.volume_of(buyer, trading_day) == eth_to_wei(5)
+
+    def test_direct_claim_with_nothing_pending_reverts(self):
+        world = make_micro_world()
+        stranger = world.account("stranger", funded_eth=2)
+        with pytest.raises(ContractExecutionError):
+            world.chain.transact(
+                sender=stranger,
+                to=world.marketplaces.distributor_addresses["LooksRare"],
+                call=Call("claim", {}),
+                timestamp=world.kit.clock.next_timestamp(3),
+            )
+
+    def test_opensea_sales_do_not_accrue_rewards(self):
+        world = make_micro_world()
+        kit = world.kit
+        seller = world.account("s", funded_eth=20)
+        buyer = world.account("b", funded_eth=20)
+        token_id = kit.mint(world.collection_address, seller, day=1)
+        kit.marketplace_sale("OpenSea", world.collection_address, token_id, seller, buyer, 5.0, day=1)
+        assert kit.claim_rewards("LooksRare", buyer, day=2) is None

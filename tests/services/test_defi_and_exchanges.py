@@ -1,0 +1,262 @@
+"""Unit tests for exchanges, DEX pools, flash loans, OTC desk and games."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.chain import Chain
+from repro.chain.errors import ContractExecutionError
+from repro.chain.types import Call
+from repro.contracts.erc20 import ERC20Token
+from repro.contracts.erc721 import ERC721Collection
+from repro.services.defi import (
+    ConstantProductPool,
+    FlashLoanProvider,
+    OTCSwapDesk,
+    PositionNFTVault,
+)
+from repro.services.exchanges import CentralizedExchange
+from repro.services.games import NFTStakingGame
+from repro.services.labels import LabelRegistry
+from repro.utils.currency import eth_to_wei
+
+ALICE = "0x" + "a" * 40
+BOB = "0x" + "b" * 40
+
+
+@pytest.fixture()
+def chain():
+    fresh = Chain(genesis_timestamp=1_000_000)
+    fresh.faucet(ALICE, eth_to_wei(100))
+    fresh.faucet(BOB, eth_to_wei(100))
+    return fresh
+
+
+class TestCentralizedExchange:
+    def test_hot_wallet_is_labelled_eoa(self, chain):
+        labels = LabelRegistry()
+        exchange = CentralizedExchange("Coinbase", chain, labels, initial_liquidity_eth=1000)
+        assert labels.has_label(exchange.hot_wallet, "exchange")
+        assert not chain.state.is_contract(exchange.hot_wallet)
+
+    def test_withdraw_and_deposit_move_eth(self, chain):
+        labels = LabelRegistry()
+        exchange = CentralizedExchange("Coinbase", chain, labels, initial_liquidity_eth=1000)
+        exchange.withdraw_to(ALICE, eth_to_wei(5), timestamp=1_000_100)
+        assert chain.state.balance_of(ALICE) == eth_to_wei(105)
+        exchange.deposit_from(ALICE, eth_to_wei(2), timestamp=1_000_200)
+        assert exchange.withdrawal_count == 1
+        assert exchange.deposit_count == 1
+
+
+class TestConstantProductPool:
+    def make_pool(self, chain):
+        token = ERC20Token("LooksRare Token", "LOOKS")
+        chain.deploy_contract(token)
+        pool = ConstantProductPool(token)
+        chain.deploy_contract(pool)
+        pool.seed_liquidity(token_amount=1_000_000, eth_amount_wei=eth_to_wei(1000), chain=chain)
+        return token, pool
+
+    def test_quotes_follow_constant_product(self, chain):
+        _, pool = self.make_pool(chain)
+        quote = pool.quoteTokenToEth(10_000)
+        assert 0 < quote < eth_to_wei(1000)
+
+    def test_swap_token_for_eth(self, chain):
+        token, pool = self.make_pool(chain)
+        chain.transact(
+            sender=ALICE, to=token.bound_address, call=Call("mint", {"to": ALICE, "amount": 50_000}), timestamp=1_000_100
+        )
+        before = chain.state.balance_of(ALICE)
+        chain.transact(
+            sender=ALICE, to=pool.bound_address, call=Call("swapTokenForEth", {"amount": 50_000}), timestamp=1_000_200
+        )
+        assert chain.state.balance_of(ALICE) > before - eth_to_wei(0.1)
+        assert token.balanceOf(ALICE) == 0
+        assert token.balanceOf(pool.bound_address) == 1_050_000
+
+    def test_swap_without_tokens_reverts(self, chain):
+        _, pool = self.make_pool(chain)
+        with pytest.raises(ContractExecutionError):
+            chain.transact(
+                sender=ALICE, to=pool.bound_address, call=Call("swapTokenForEth", {"amount": 10}), timestamp=1_000_100
+            )
+
+    def test_swap_eth_for_token(self, chain):
+        token, pool = self.make_pool(chain)
+        chain.transact(
+            sender=ALICE,
+            to=pool.bound_address,
+            value_wei=eth_to_wei(1),
+            call=Call("swapEthForToken", {}),
+            timestamp=1_000_100,
+        )
+        assert token.balanceOf(ALICE) > 0
+
+
+class TestFlashLoan:
+    def test_unrepaid_loan_reverts(self, chain):
+        lender = FlashLoanProvider()
+        chain.deploy_contract(lender)
+        lender.seed_liquidity(eth_to_wei(100), chain)
+        # A borrower contract that keeps the money: the loan must revert.
+        class Keeper(ERC721Collection):
+            EXPOSED_FUNCTIONS = {"keep"}
+
+            def keep(self, ctx):
+                return None
+
+        keeper = Keeper("Keeper", "KEEP")
+        keeper_address = chain.deploy_contract(keeper)
+        with pytest.raises(ContractExecutionError):
+            chain.transact(
+                sender=ALICE,
+                to=lender.bound_address,
+                call=Call(
+                    "flashLoan",
+                    {"receiver": keeper_address, "amount_wei": eth_to_wei(10), "callback": "keep"},
+                ),
+                timestamp=1_000_100,
+            )
+
+    def test_loan_larger_than_liquidity_reverts(self, chain):
+        lender = FlashLoanProvider()
+        chain.deploy_contract(lender)
+        lender.seed_liquidity(eth_to_wei(1), chain)
+        with pytest.raises(ContractExecutionError):
+            chain.transact(
+                sender=ALICE,
+                to=lender.bound_address,
+                call=Call("flashLoan", {"receiver": ALICE, "amount_wei": eth_to_wei(10), "callback": "x"}),
+                timestamp=1_000_100,
+            )
+
+
+class TestPositionVault:
+    def test_deposit_mints_position_and_redeem_returns_eth(self, chain):
+        positions = ERC721Collection("Positions", "POS")
+        chain.deploy_contract(positions)
+        vault = PositionNFTVault(positions)
+        vault_address = chain.deploy_contract(vault)
+        chain.transact(
+            sender=ALICE, to=vault_address, value_wei=eth_to_wei(10), call=Call("deposit", {}), timestamp=1_000_100
+        )
+        assert positions.balanceOf(ALICE) == 1
+        assert vault.lockedValue() == eth_to_wei(10)
+        balance_before = chain.state.balance_of(ALICE)
+        chain.transact(
+            sender=ALICE, to=vault_address, call=Call("redeem", {"token_id": 1}), timestamp=1_000_200
+        )
+        assert chain.state.balance_of(ALICE) > balance_before
+        assert vault.lockedValue() == 0
+
+    def test_only_owner_redeems(self, chain):
+        positions = ERC721Collection("Positions", "POS")
+        chain.deploy_contract(positions)
+        vault = PositionNFTVault(positions)
+        vault_address = chain.deploy_contract(vault)
+        chain.transact(
+            sender=ALICE, to=vault_address, value_wei=eth_to_wei(10), call=Call("deposit", {}), timestamp=1_000_100
+        )
+        with pytest.raises(ContractExecutionError):
+            chain.transact(
+                sender=BOB, to=vault_address, call=Call("redeem", {"token_id": 1}), timestamp=1_000_200
+            )
+
+
+class TestOTCSwapDesk:
+    def test_atomic_swap_moves_nft_and_payment(self, chain):
+        collection = ERC721Collection("Apes", "APE")
+        collection_address = chain.deploy_contract(collection)
+        desk = OTCSwapDesk()
+        desk_address = chain.deploy_contract(desk)
+        chain.transact(sender=ALICE, to=collection_address, call=Call("mint", {"to": ALICE}), timestamp=1_000_100)
+        chain.transact(
+            sender=ALICE,
+            to=collection_address,
+            call=Call("setApprovalForAll", {"operator": desk_address, "approved": True}),
+            timestamp=1_000_150,
+        )
+        seller_before = chain.state.balance_of(ALICE)
+        tx = chain.transact(
+            sender=BOB,
+            to=desk_address,
+            value_wei=eth_to_wei(3),
+            call=Call("swap", {"collection": collection_address, "token_id": 1, "seller": ALICE, "price_wei": eth_to_wei(3)}),
+            timestamp=1_000_200,
+        )
+        assert collection.ownerOf(1) == BOB
+        assert chain.state.balance_of(ALICE) == seller_before + eth_to_wei(3)
+        assert any(log.is_erc721_transfer for log in tx.logs)
+        assert desk.completedSwaps() == 1
+
+    def test_swap_of_unowned_token_reverts(self, chain):
+        collection = ERC721Collection("Apes", "APE")
+        collection_address = chain.deploy_contract(collection)
+        desk = OTCSwapDesk()
+        desk_address = chain.deploy_contract(desk)
+        with pytest.raises(ContractExecutionError):
+            chain.transact(
+                sender=BOB,
+                to=desk_address,
+                value_wei=eth_to_wei(1),
+                call=Call("swap", {"collection": collection_address, "token_id": 9, "seller": ALICE, "price_wei": eth_to_wei(1)}),
+                timestamp=1_000_100,
+            )
+
+
+class TestStakingGame:
+    def test_stake_and_unstake_round_trip(self, chain):
+        collection = ERC721Collection("Apes", "APE")
+        collection_address = chain.deploy_contract(collection)
+        game = NFTStakingGame("Quest")
+        game_address = chain.deploy_contract(game)
+        chain.transact(sender=ALICE, to=collection_address, call=Call("mint", {"to": ALICE}), timestamp=1_000_100)
+        chain.transact(
+            sender=ALICE,
+            to=collection_address,
+            call=Call("setApprovalForAll", {"operator": game_address, "approved": True}),
+            timestamp=1_000_150,
+        )
+        chain.transact(
+            sender=ALICE,
+            to=game_address,
+            call=Call("stake", {"collection": collection_address, "token_id": 1}),
+            timestamp=1_000_200,
+        )
+        assert collection.ownerOf(1) == game_address
+        assert game.stakedCount() == 1
+        chain.transact(
+            sender=ALICE,
+            to=game_address,
+            call=Call("unstake", {"collection": collection_address, "token_id": 1}),
+            timestamp=1_000_300,
+        )
+        assert collection.ownerOf(1) == ALICE
+
+    def test_only_staker_can_unstake(self, chain):
+        collection = ERC721Collection("Apes", "APE")
+        collection_address = chain.deploy_contract(collection)
+        game = NFTStakingGame("Quest")
+        game_address = chain.deploy_contract(game)
+        chain.transact(sender=ALICE, to=collection_address, call=Call("mint", {"to": ALICE}), timestamp=1_000_100)
+        chain.transact(
+            sender=ALICE,
+            to=collection_address,
+            call=Call("setApprovalForAll", {"operator": game_address, "approved": True}),
+            timestamp=1_000_150,
+        )
+        chain.transact(
+            sender=ALICE,
+            to=game_address,
+            call=Call("stake", {"collection": collection_address, "token_id": 1}),
+            timestamp=1_000_200,
+        )
+        with pytest.raises(ContractExecutionError):
+            chain.transact(
+                sender=BOB,
+                to=game_address,
+                call=Call("unstake", {"collection": collection_address, "token_id": 1}),
+                timestamp=1_000_300,
+            )

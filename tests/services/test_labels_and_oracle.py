@@ -1,0 +1,117 @@
+"""Unit tests for the label registry and the price oracle."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.chain.types import NULL_ADDRESS
+from repro.services.labels import LabelRegistry
+from repro.services.oracle import PriceOracle, PriceSeries
+from repro.utils.currency import eth_to_wei
+from repro.utils.timeutil import SECONDS_PER_DAY, SIMULATION_EPOCH
+
+ADDRESS = "0x" + "1" * 40
+
+
+class TestLabelRegistry:
+    def test_add_and_query(self):
+        labels = LabelRegistry()
+        labels.add(ADDRESS, "exchange", name="Coinbase")
+        assert labels.has_label(ADDRESS, "exchange")
+        assert labels.name_of(ADDRESS) == "Coinbase"
+        assert "exchange" in labels.labels_of(ADDRESS)
+
+    def test_unlabelled_address(self):
+        labels = LabelRegistry()
+        assert labels.labels_of(ADDRESS) == set()
+        assert not labels.has_label(ADDRESS, "exchange")
+        assert ADDRESS not in labels
+
+    def test_graph_exclusion_covers_paper_labels(self):
+        labels = LabelRegistry()
+        for index, label in enumerate(["exchange", "cefi", "game"]):
+            address = "0x" + str(index) * 40
+            labels.add(address, label)
+            assert labels.is_graph_excluded_service(address)
+
+    def test_null_address_always_excluded(self):
+        assert LabelRegistry().is_graph_excluded_service(NULL_ADDRESS)
+
+    def test_marketplace_label_not_excluded(self):
+        labels = LabelRegistry()
+        labels.add(ADDRESS, "marketplace")
+        assert not labels.is_graph_excluded_service(ADDRESS)
+
+    def test_financial_service_covers_defi(self):
+        labels = LabelRegistry()
+        labels.add(ADDRESS, "dex")
+        assert labels.is_financial_service(ADDRESS)
+        assert not labels.is_graph_excluded_service(ADDRESS)
+
+    def test_add_many_and_reverse_lookup(self):
+        labels = LabelRegistry()
+        addresses = ["0x" + str(i) * 40 for i in range(3)]
+        labels.add_many(addresses, "exchange")
+        assert set(labels.addresses_with_label("exchange")) == set(addresses)
+        assert len(labels) == 3
+
+
+class TestPriceSeries:
+    def test_deterministic(self):
+        series = PriceSeries(symbol="ETH", base_usd=2600)
+        assert series.price_at(SIMULATION_EPOCH) == series.price_at(SIMULATION_EPOCH)
+
+    def test_constant_within_a_day(self):
+        series = PriceSeries(symbol="ETH", base_usd=2600)
+        assert series.price_at(SIMULATION_EPOCH) == series.price_at(SIMULATION_EPOCH + 1000)
+
+    def test_floor_is_respected(self):
+        series = PriceSeries(symbol="X", base_usd=0.001, floor_usd=0.01)
+        assert series.price_at(SIMULATION_EPOCH) >= 0.01
+
+    def test_growth_trend(self):
+        series = PriceSeries(
+            symbol="ETH", base_usd=1000, yearly_growth=1.0, cycle_amplitude=0, wobble_amplitude=0
+        )
+        later = SIMULATION_EPOCH + 365 * SECONDS_PER_DAY
+        assert series.price_at(later) == pytest.approx(2000, rel=0.01)
+
+
+class TestPriceOracle:
+    def test_default_symbols_present(self):
+        oracle = PriceOracle()
+        for symbol in ("ETH", "LOOKS", "RARI", "USDC", "WETH"):
+            assert oracle.has_symbol(symbol)
+            assert oracle.usd_price(symbol, SIMULATION_EPOCH) > 0
+
+    def test_unknown_symbol_raises(self):
+        with pytest.raises(KeyError):
+            PriceOracle().usd_price("DOGE", SIMULATION_EPOCH)
+
+    def test_wei_conversion_matches_eth_conversion(self):
+        oracle = PriceOracle()
+        assert oracle.wei_to_usd(eth_to_wei(2), SIMULATION_EPOCH) == pytest.approx(
+            2 * oracle.usd_price("ETH", SIMULATION_EPOCH)
+        )
+
+    def test_token_conversion(self):
+        oracle = PriceOracle()
+        price = oracle.usd_price("LOOKS", SIMULATION_EPOCH)
+        assert oracle.token_to_usd("LOOKS", 10, SIMULATION_EPOCH) == pytest.approx(10 * price)
+
+    def test_usdc_is_stable(self):
+        oracle = PriceOracle()
+        assert oracle.usd_price("USDC", SIMULATION_EPOCH) == pytest.approx(1.0, abs=0.01)
+        assert oracle.usd_price("USDC", SIMULATION_EPOCH + 100 * SECONDS_PER_DAY) == pytest.approx(1.0, abs=0.01)
+
+    def test_register_custom_series(self):
+        oracle = PriceOracle()
+        oracle.register(PriceSeries(symbol="APE", base_usd=12.0))
+        assert oracle.usd_price("APE", SIMULATION_EPOCH) > 0
+
+
+@given(st.integers(min_value=0, max_value=3000))
+def test_eth_price_always_positive(day_offset):
+    oracle = PriceOracle()
+    assert oracle.usd_price("ETH", SIMULATION_EPOCH + day_offset * SECONDS_PER_DAY) > 0

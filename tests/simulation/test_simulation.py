@@ -1,0 +1,168 @@
+"""Unit and invariant tests for the workload generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.types import NULL_ADDRESS
+from repro.simulation.builder import WorldBuilder, build_default_world
+from repro.simulation.config import SimulationConfig
+from repro.simulation.ground_truth import (
+    DETECTABLE_KINDS,
+    FILTERED_KINDS,
+    GroundTruth,
+    KIND_REWARD_FARM,
+    PlannedActivity,
+)
+from repro.simulation.timeline import TimeAllocator
+from repro.utils.timeutil import SECONDS_PER_DAY, SIMULATION_EPOCH
+from repro.chain.types import NFTKey
+
+
+class TestTimeAllocator:
+    def test_timestamps_strictly_increase(self):
+        clock = TimeAllocator()
+        stamps = [clock.next_timestamp(day) for day in (1, 1, 1, 2, 2, 5)]
+        assert stamps == sorted(stamps)
+        assert len(set(stamps)) == len(stamps)
+
+    def test_timestamp_lands_in_requested_day(self):
+        clock = TimeAllocator()
+        timestamp = clock.next_timestamp(3)
+        assert clock.day_start(3) <= timestamp < clock.day_start(4)
+
+    def test_never_goes_backwards_even_for_earlier_day(self):
+        clock = TimeAllocator()
+        late = clock.next_timestamp(10)
+        early = clock.next_timestamp(2)
+        assert early > late
+
+    def test_jump_to_day(self):
+        clock = TimeAllocator()
+        clock.jump_to_day(7)
+        assert clock.last_timestamp == clock.day_start(7)
+        assert clock.current_day() == 7
+
+
+class TestConfig:
+    def test_presets_shrink(self):
+        default = SimulationConfig()
+        small = SimulationConfig.small()
+        tiny = SimulationConfig.tiny()
+        assert tiny.duration_days < small.duration_days < default.duration_days
+        assert tiny.wash_mix.total_planted < small.wash_mix.total_planted
+
+    def test_total_planted_counts_only_detectable(self):
+        mix = SimulationConfig().wash_mix
+        assert mix.total_planted == (
+            mix.looksrare_reward_farms
+            + mix.rarible_reward_farms
+            + mix.opensea_resale_pumps
+            + mix.opensea_small_washes
+            + mix.superrare_washes
+            + mix.decentraland_washes
+            + mix.self_trades
+            + mix.rarity_games
+            + mix.offmarket_p2p_washes
+        )
+
+    def test_venue_popularity_is_a_distribution(self):
+        config = SimulationConfig()
+        assert sum(config.venue_popularity.values()) == pytest.approx(1.0)
+
+
+class TestGroundTruth:
+    def test_kind_partition(self):
+        assert not (DETECTABLE_KINDS & FILTERED_KINDS)
+
+    def test_record_and_score(self):
+        truth = GroundTruth()
+        nft = NFTKey(contract="0x" + "1" * 40, token_id=1)
+        truth.record(
+            PlannedActivity(
+                kind=KIND_REWARD_FARM,
+                nft=nft,
+                accounts=frozenset(["0xa"]),
+                venue="LooksRare",
+                start_day=1,
+                end_day=2,
+            )
+        )
+        assert len(truth.detectable()) == 1
+        score = truth.match_against([nft])
+        assert score.recall == 1.0
+        assert truth.match_against([]).recall == 0.0
+
+
+class TestBuiltWorld:
+    def test_deterministic_for_same_seed(self):
+        first = build_default_world(SimulationConfig.tiny(seed=9))
+        second = build_default_world(SimulationConfig.tiny(seed=9))
+        assert first.chain.transaction_count() == second.chain.transaction_count()
+        assert len(first.ground_truth.activities) == len(second.ground_truth.activities)
+        assert [b.timestamp for b in first.chain.blocks] == [b.timestamp for b in second.chain.blocks]
+
+    def test_different_seed_differs(self):
+        first = build_default_world(SimulationConfig.tiny(seed=9))
+        second = build_default_world(SimulationConfig.tiny(seed=10))
+        assert first.chain.transaction_count() != second.chain.transaction_count()
+
+    def test_world_inventory(self, tiny_world):
+        assert len(tiny_world.marketplaces.venues) == 6
+        assert len(tiny_world.exchanges) >= 2
+        assert tiny_world.collections
+        assert tiny_world.ground_truth.detectable()
+        assert "otc-desk" in tiny_world.defi_addresses
+
+    def test_block_timestamps_monotonic(self, tiny_world):
+        timestamps = [block.timestamp for block in tiny_world.chain.blocks]
+        assert timestamps == sorted(timestamps)
+
+    def test_no_negative_balances(self, tiny_world):
+        assert all(
+            account.balance_wei >= 0 for account in tiny_world.chain.state.accounts()
+        )
+
+    def test_planted_activities_span_all_kinds(self, small_world):
+        kinds = {activity.kind for activity in small_world.ground_truth.activities}
+        assert DETECTABLE_KINDS <= kinds
+
+    def test_wash_targets_use_paper_collection_names(self, tiny_world):
+        wash_names = {c.name for c in tiny_world.collections if c.is_wash_target}
+        assert wash_names & {"Meebits", "Terraforms", "Loot", "Rollbots", "Avastar"}
+
+    def test_market_context_is_complete(self, tiny_world):
+        context = tiny_world.market_context()
+        assert set(context.marketplace_addresses) == set(context.treasury_addresses)
+        assert set(context.distributor_addresses) == {"LooksRare", "Rarible"}
+        assert context.non_reward_venues()
+        assert context.reward_venues() == ["LooksRare", "Rarible"]
+
+    def test_collection_creation_timestamps_exposed(self, tiny_world):
+        creation = tiny_world.collection_creation_timestamps()
+        assert creation
+        assert all(ts >= SIMULATION_EPOCH for ts in creation.values())
+
+    def test_service_accounts_are_labelled(self, tiny_world):
+        for exchange in tiny_world.exchanges:
+            assert tiny_world.labels.is_graph_excluded_service(exchange.hot_wallet)
+
+    def test_mints_originate_from_null_address(self, tiny_world):
+        logs = tiny_world.node.get_logs(topic_count=4)
+        assert any(log.topics[1] == NULL_ADDRESS for _tx, log in logs)
+
+    def test_planted_wash_happens_near_collection_creation(self, small_world):
+        creation_day = {
+            collection.address: collection.creation_day
+            for collection in small_world.collections
+        }
+        config = small_world.config
+        detectable = small_world.ground_truth.detectable()
+        near = sum(
+            1
+            for activity in detectable
+            if activity.nft.contract in creation_day
+            and activity.start_day - creation_day[activity.nft.contract]
+            <= config.wash_near_creation_days + 1
+        )
+        assert near / len(detectable) > 0.9

@@ -1,0 +1,40 @@
+"""Tests for the ``python -m repro`` command-line entry point."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import PRESETS, build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.preset == "small"
+        assert args.seed is None
+        assert not args.quiet
+
+    def test_presets_cover_all_configs(self):
+        assert set(PRESETS) == {"tiny", "small", "default"}
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["--preset", "galactic"])
+
+
+class TestMain:
+    def test_quiet_run_prints_summary(self, capsys):
+        exit_code = main(["--preset", "tiny", "--quiet", "--seed", "5"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "confirmed wash trading activities" in captured.out
+        assert "Table I" not in captured.out
+
+    def test_full_run_writes_report_file(self, tmp_path, capsys):
+        output = tmp_path / "report.txt"
+        exit_code = main(["--preset", "tiny", "--seed", "5", "--output", str(output)])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert output.exists()
+        assert "Table II" in output.read_text()
+        assert "Table II" in captured.out

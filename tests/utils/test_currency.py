@@ -1,0 +1,62 @@
+"""Unit tests for currency conversions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.currency import (
+    GWEI_PER_ETH,
+    WEI_PER_ETH,
+    eth_to_wei,
+    format_eth,
+    format_usd,
+    gwei_to_wei,
+    wei_to_eth,
+    wei_to_gwei,
+)
+
+
+class TestConversions:
+    def test_one_eth_in_wei(self):
+        assert eth_to_wei(1) == WEI_PER_ETH
+
+    def test_fractional_eth(self):
+        assert eth_to_wei(0.5) == WEI_PER_ETH // 2
+
+    def test_round_trip_exact_for_integers(self):
+        assert wei_to_eth(eth_to_wei(7)) == 7.0
+
+    def test_gwei_conversion(self):
+        assert gwei_to_wei(1) == 10**9
+        assert wei_to_gwei(10**9) == 1.0
+
+    def test_gwei_per_eth_constant(self):
+        assert GWEI_PER_ETH == 10**9
+
+    def test_zero(self):
+        assert eth_to_wei(0) == 0
+        assert wei_to_eth(0) == 0.0
+
+
+class TestFormatting:
+    def test_format_eth(self):
+        assert format_eth(eth_to_wei(1.5)) == "1.5000 ETH"
+
+    def test_format_eth_thousands_separator(self):
+        assert "," in format_eth(eth_to_wei(12_345))
+
+    def test_format_usd(self):
+        assert format_usd(1234.5) == "$1,234.50"
+
+
+@given(st.floats(min_value=0, max_value=1e9, allow_nan=False, allow_infinity=False))
+def test_wei_round_trip_close(amount_eth):
+    wei = eth_to_wei(amount_eth)
+    assert wei >= 0
+    assert wei_to_eth(wei) == pytest.approx(amount_eth, rel=1e-12, abs=1e-9)
+
+
+@given(st.integers(min_value=0, max_value=10**27))
+def test_wei_to_eth_monotonic(wei):
+    assert wei_to_eth(wei + WEI_PER_ETH) > wei_to_eth(wei)

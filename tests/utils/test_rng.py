@@ -1,0 +1,77 @@
+"""Unit tests for the deterministic RNG."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.utils.hashing import is_address
+from repro.utils.rng import DeterministicRNG
+
+
+class TestDeterminism:
+    def test_same_seed_same_draws(self):
+        first = DeterministicRNG(1)
+        second = DeterministicRNG(1)
+        assert [first.random() for _ in range(10)] == [second.random() for _ in range(10)]
+
+    def test_different_seeds_differ(self):
+        assert DeterministicRNG(1).random() != DeterministicRNG(2).random()
+
+    def test_children_are_independent_of_draw_order(self):
+        root = DeterministicRNG(5)
+        child_a_first = root.child("a").random()
+        root2 = DeterministicRNG(5)
+        root2.child("b").random()
+        assert child_a_first == root2.child("a").random()
+
+    def test_named_children_differ(self):
+        root = DeterministicRNG(5)
+        assert root.child("a").random() != root.child("b").random()
+
+
+class TestDraws:
+    def test_randint_bounds(self):
+        rng = DeterministicRNG(3)
+        values = [rng.randint(2, 4) for _ in range(100)]
+        assert set(values) <= {2, 3, 4}
+
+    def test_choice_returns_member(self):
+        rng = DeterministicRNG(3)
+        assert rng.choice(["x", "y"]) in {"x", "y"}
+
+    def test_sample_distinct(self):
+        rng = DeterministicRNG(3)
+        sample = rng.sample(list(range(20)), 5)
+        assert len(set(sample)) == 5
+
+    def test_shuffle_preserves_elements_and_input(self):
+        rng = DeterministicRNG(3)
+        original = [1, 2, 3, 4]
+        shuffled = rng.shuffle(original)
+        assert sorted(shuffled) == original
+        assert original == [1, 2, 3, 4]
+
+    def test_weighted_choice_respects_zero_weight(self):
+        rng = DeterministicRNG(3)
+        values = [rng.weighted_choice(["a", "b"], [1.0, 0.0]) for _ in range(50)]
+        assert set(values) == {"a"}
+
+    def test_bernoulli_extremes(self):
+        rng = DeterministicRNG(3)
+        assert all(rng.bernoulli(1.0) for _ in range(20))
+        assert not any(rng.bernoulli(0.0) for _ in range(20))
+
+    def test_distribution_draws_positive(self):
+        rng = DeterministicRNG(3)
+        assert rng.lognormal(0, 1) > 0
+        assert rng.exponential(5.0) >= 0
+        assert rng.pareto(2.0, scale=3.0) >= 3.0
+
+    def test_address_draw_is_valid(self):
+        rng = DeterministicRNG(3)
+        assert is_address(rng.address("trader"))
+
+
+@given(st.integers(min_value=0, max_value=2**31), st.text(max_size=12))
+def test_any_seed_and_name_reproducible(seed, name):
+    assert DeterministicRNG(seed, name).random() == DeterministicRNG(seed, name).random()

@@ -1,0 +1,40 @@
+"""Unit tests for time helpers."""
+
+from __future__ import annotations
+
+from hypothesis import given, strategies as st
+
+from repro.utils.timeutil import (
+    SECONDS_PER_DAY,
+    SIMULATION_EPOCH,
+    day_of,
+    days_between,
+    format_day,
+    timestamp_of_day,
+)
+
+
+class TestDayArithmetic:
+    def test_day_of_epoch(self):
+        assert day_of(0) == 0
+        assert day_of(SECONDS_PER_DAY) == 1
+        assert day_of(SECONDS_PER_DAY - 1) == 0
+
+    def test_timestamp_of_day_round_trip(self):
+        assert day_of(timestamp_of_day(123)) == 123
+
+    def test_days_between(self):
+        assert days_between(0, SECONDS_PER_DAY) == 1.0
+        assert days_between(0, SECONDS_PER_DAY // 2) == 0.5
+
+    def test_simulation_epoch_is_midnight(self):
+        assert SIMULATION_EPOCH % SECONDS_PER_DAY == 0
+
+    def test_format_day(self):
+        assert format_day(SIMULATION_EPOCH) == "2020-01-01"
+
+
+@given(st.integers(min_value=0, max_value=10**10))
+def test_day_of_consistent_with_timestamp_of_day(timestamp):
+    day = day_of(timestamp)
+    assert timestamp_of_day(day) <= timestamp < timestamp_of_day(day + 1)
