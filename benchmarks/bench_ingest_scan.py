@@ -1,8 +1,18 @@
-"""Experiment S-ingest -- dataset construction statistics (Sec. III)."""
+"""Experiment S-ingest -- dataset construction statistics (Sec. III).
+
+The backend-parametrized case compares the ingest cost of the two
+detection paths: the legacy path consumes the dataset as-is, while the
+engine path additionally builds the interned columnar transfer store
+(``--backends legacy,engine`` to compare; ``engine-mp`` is skipped here
+because store construction does not depend on the worker count).
+"""
 
 from __future__ import annotations
 
+import pytest
+
 from benchmarks.conftest import print_rows
+from repro.engine.store import ColumnarTransferStore
 from repro.ingest.dataset import build_dataset
 
 
@@ -29,3 +39,47 @@ def test_ingest_scan(benchmark, paper_world):
     assert 0.8 < dataset.compliance.compliance_ratio < 1.0
     assert dataset.nft_count > 0
     assert dataset.transfer_count >= dataset.nft_count
+
+
+def test_ingest_for_backend(benchmark, paper_world, backend):
+    """Ingest cost per backend: dataset alone vs. dataset + columnar store."""
+    if backend == "engine-mp":
+        pytest.skip("store construction is identical across worker counts")
+
+    def ingest():
+        dataset = build_dataset(paper_world.node, paper_world.marketplace_addresses)
+        if backend == "engine":
+            dataset.columnar_store()
+        return dataset
+
+    dataset = benchmark(ingest)
+    rows = [
+        ["NFTs with transfers", dataset.nft_count],
+        ["transfers retained", dataset.transfer_count],
+    ]
+    if backend == "engine":
+        store = dataset.columnar_store()
+        rows += [
+            ["interned accounts", store.account_count],
+            ["columnar tokens", store.token_count],
+            ["columnar rows", store.transfer_count],
+        ]
+        assert store.transfer_count == dataset.transfer_count
+        assert store.token_count == dataset.nft_count
+    print_rows(f"Ingest path [{backend}]", ["statistic", "value"], rows)
+
+
+def test_columnar_store_build(benchmark, paper_world):
+    """Cost of the store build alone, over a prebuilt dataset."""
+    dataset = build_dataset(paper_world.node, paper_world.marketplace_addresses)
+    store = benchmark(ColumnarTransferStore.from_dataset, dataset)
+    print_rows(
+        "Columnar store build",
+        ["statistic", "value"],
+        [
+            ["interned accounts", store.account_count],
+            ["tokens", store.token_count],
+            ["rows", store.transfer_count],
+        ],
+    )
+    assert store.transfer_count == dataset.transfer_count

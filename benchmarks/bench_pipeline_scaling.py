@@ -1,18 +1,39 @@
-"""Experiment S-scale -- end-to-end pipeline wall-clock scaling."""
+"""Experiment S-scale -- end-to-end pipeline wall-clock scaling.
+
+Every case runs the full detection pipeline (refinement + confirmation)
+over a synthetic world, parametrized by world size *and* detection
+backend -- the legacy networkx path, the serial columnar engine, and the
+process-pool engine.  Select backends with ``--backends``, e.g.::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_pipeline_scaling.py \
+        --backends legacy,engine -q
+
+``test_engine_beats_legacy_on_default_world`` is the acceptance check
+for the engine: best-of-three wall clock on the largest simulated world,
+columnar engine (including its store build) vs. the legacy path.
+"""
 
 from __future__ import annotations
 
+import time
+
 import pytest
 
+from benchmarks.conftest import BACKEND_PIPELINE_KWARGS
 from repro.core.detectors.pipeline import WashTradingPipeline
 from repro.ingest.dataset import build_dataset
 from repro.simulation.builder import build_default_world
 from repro.simulation.config import SimulationConfig
 
 
-def run_full_pipeline(world):
-    dataset = build_dataset(world.node, world.marketplace_addresses)
-    pipeline = WashTradingPipeline(labels=world.labels, is_contract=world.is_contract)
+def run_full_pipeline(world, dataset=None, **pipeline_kwargs):
+    if dataset is None:
+        dataset = build_dataset(world.node, world.marketplace_addresses)
+    # Drop any cached columnar store so engine timings include its build.
+    dataset._columnar_store = None
+    pipeline = WashTradingPipeline(
+        labels=world.labels, is_contract=world.is_contract, **pipeline_kwargs
+    )
     return pipeline.run(dataset)
 
 
@@ -25,11 +46,48 @@ def run_full_pipeline(world):
     ],
     ids=["tiny", "small", "default"],
 )
-def test_pipeline_scaling(benchmark, label, config):
+def test_pipeline_scaling(benchmark, label, config, backend):
     world = build_default_world(config)
-    result = benchmark.pedantic(run_full_pipeline, args=(world,), iterations=1, rounds=3)
+    dataset = build_dataset(world.node, world.marketplace_addresses)
+    result = benchmark.pedantic(
+        run_full_pipeline,
+        args=(world,),
+        kwargs={"dataset": dataset, **BACKEND_PIPELINE_KWARGS[backend]},
+        iterations=1,
+        rounds=3,
+    )
     print(
-        f"\n== pipeline scaling [{label}] == transfers={world.chain.transaction_count()}"
+        f"\n== pipeline scaling [{label}/{backend}] =="
+        f" transfers={world.chain.transaction_count()}"
         f" candidates={result.candidate_count} activities={result.activity_count}"
     )
     assert result.activity_count > 0
+
+
+def _best_of(rounds, world, dataset, **pipeline_kwargs):
+    best = None
+    result = None
+    for _ in range(rounds):
+        started = time.perf_counter()
+        result = run_full_pipeline(world, dataset=dataset, **pipeline_kwargs)
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+def test_engine_beats_legacy_on_default_world():
+    """The columnar engine must outrun the legacy path at the largest scale."""
+    world = build_default_world(SimulationConfig())
+    dataset = build_dataset(world.node, world.marketplace_addresses)
+
+    legacy_best, legacy_result = _best_of(3, world, dataset, engine="legacy")
+    engine_best, engine_result = _best_of(3, world, dataset, engine="columnar")
+
+    print(
+        f"\n== engine vs legacy [default world] == "
+        f"legacy={legacy_best:.3f}s engine={engine_best:.3f}s "
+        f"speedup={legacy_best / engine_best:.2f}x"
+    )
+    assert engine_result.activity_count == legacy_result.activity_count
+    assert engine_best < legacy_best

@@ -14,6 +14,43 @@ from repro.analysis.report import PaperReport
 from repro.simulation.builder import build_default_world
 from repro.simulation.config import SimulationConfig
 
+#: Detection backends the backend-parametrized benchmarks can compare.
+#: "legacy" is the networkx reference path, "engine" the serial columnar
+#: engine, "engine-mp" the columnar engine on a 4-worker process pool.
+ALL_BACKENDS = ("legacy", "engine", "engine-mp")
+
+BACKEND_PIPELINE_KWARGS = {
+    "legacy": {"engine": "legacy"},
+    "engine": {"engine": "columnar"},
+    "engine-mp": {"engine": "columnar", "workers": 4},
+}
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--backends",
+        default=",".join(ALL_BACKENDS),
+        help=(
+            "comma-separated detection backends to benchmark "
+            f"(subset of {','.join(ALL_BACKENDS)}; default: all)"
+        ),
+    )
+
+
+def pytest_generate_tests(metafunc):
+    if "backend" in metafunc.fixturenames:
+        selected = [
+            name.strip()
+            for name in metafunc.config.getoption("--backends").split(",")
+            if name.strip()
+        ]
+        unknown = [name for name in selected if name not in ALL_BACKENDS]
+        if unknown:
+            raise pytest.UsageError(
+                f"unknown --backends entries {unknown}; expected {ALL_BACKENDS}"
+            )
+        metafunc.parametrize("backend", selected, ids=selected)
+
 
 @pytest.fixture(scope="session")
 def paper_world():

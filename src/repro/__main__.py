@@ -13,6 +13,7 @@ import time
 from typing import Optional, Sequence
 
 from repro.analysis.report import PaperReport
+from repro.core.detectors.pipeline import WashTradingPipeline
 from repro.simulation.builder import build_default_world
 from repro.simulation.config import SimulationConfig
 
@@ -47,6 +48,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quiet", action="store_true", help="print only the summary line"
     )
+    parser.add_argument(
+        "--engine",
+        choices=sorted(WashTradingPipeline.ENGINES),
+        default="legacy",
+        help=(
+            "detection backend: 'legacy' runs the networkx reference "
+            "implementation, 'columnar' the sharded mask-based engine "
+            "(default: legacy)"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help=(
+            "worker processes for the columnar engine; 0 or 1 runs the "
+            "deterministic serial path (default: 0)"
+        ),
+    )
     return parser
 
 
@@ -59,7 +79,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     started = time.time()
     world = build_default_world(config)
-    report = PaperReport(world)
+    report = PaperReport(world, engine=args.engine, workers=args.workers)
     text = report.render_text()
     elapsed = time.time() - started
 
@@ -72,7 +92,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     result = report.result
     score = world.ground_truth.match_against(result.washed_nfts())
     print(
-        f"\n[{args.preset}] {world.chain.transaction_count()} transactions, "
+        f"\n[{args.preset}/{args.engine}] {world.chain.transaction_count()} transactions, "
         f"{result.activity_count} confirmed wash trading activities, "
         f"recall {score.recall:.1%} on planted ground truth, {elapsed:.1f}s"
     )

@@ -50,6 +50,10 @@ class PaperReport:
 
     world: World
     detection_config: Optional[DetectionConfig] = None
+    #: Detection backend: "legacy" (networkx reference) or "columnar".
+    engine: str = "legacy"
+    #: Worker processes for the columnar engine (0/1 = in-process serial).
+    workers: int = 0
     _dataset: Optional[NFTDataset] = field(default=None, repr=False)
     _result: Optional[PipelineResult] = field(default=None, repr=False)
 
@@ -71,6 +75,8 @@ class PaperReport:
                 labels=self.world.labels,
                 is_contract=self.world.is_contract,
                 config=self.detection_config,
+                engine=self.engine,
+                workers=self.workers,
             )
             self._result = pipeline.run(self.dataset)
         return self._result

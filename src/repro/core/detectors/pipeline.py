@@ -63,23 +63,28 @@ class PipelineResult:
                 counts[method] += 1
         return dict(counts)
 
-    def funder_kind_counts(self) -> Dict[str, int]:
-        """Split of common-funder confirmations into internal / external."""
+    def _kind_counts(self, method: DetectionMethod) -> Dict[str, int]:
+        """Split one method's confirmations by the ``kind`` evidence detail.
+
+        The expected kinds are "internal" and "external" (always present
+        in the result, even at zero); any unexpected kind value is
+        counted under its own key rather than crashing the report.
+        """
         counts = {"internal": 0, "external": 0}
         for activity in self.activities:
-            evidence = activity.evidence_for(DetectionMethod.COMMON_FUNDER)
+            evidence = activity.evidence_for(method)
             if evidence is not None:
-                counts[str(evidence.details.get("kind", "internal"))] += 1
+                kind = str(evidence.details.get("kind", "internal"))
+                counts[kind] = counts.get(kind, 0) + 1
         return counts
+
+    def funder_kind_counts(self) -> Dict[str, int]:
+        """Split of common-funder confirmations into internal / external."""
+        return self._kind_counts(DetectionMethod.COMMON_FUNDER)
 
     def exit_kind_counts(self) -> Dict[str, int]:
         """Split of common-exit confirmations into internal / external."""
-        counts = {"internal": 0, "external": 0}
-        for activity in self.activities:
-            evidence = activity.evidence_for(DetectionMethod.COMMON_EXIT)
-            if evidence is not None:
-                counts[str(evidence.details.get("kind", "internal"))] += 1
-        return counts
+        return self._kind_counts(DetectionMethod.COMMON_EXIT)
 
     def venn_counts(self) -> Dict[FrozenSet[DetectionMethod], int]:
         """The Fig. 2 Venn diagram over the three transaction-analysis methods.
@@ -125,8 +130,36 @@ class PipelineResult:
         }
 
 
+def build_detectors(enabled_methods: Iterable[DetectionMethod]) -> List[Detector]:
+    """The per-component detectors for a method set, in canonical order.
+
+    Shared by the legacy pipeline and the engine's shard workers so both
+    paths apply the confirmation techniques identically.
+    """
+    enabled = set(enabled_methods)
+    detectors: List[Detector] = []
+    if DetectionMethod.ZERO_RISK in enabled:
+        detectors.append(ZeroRiskDetector())
+    if DetectionMethod.COMMON_FUNDER in enabled:
+        detectors.append(CommonFunderDetector())
+    if DetectionMethod.COMMON_EXIT in enabled:
+        detectors.append(CommonExitDetector())
+    if DetectionMethod.SELF_TRADE in enabled:
+        detectors.append(SelfTradeDetector())
+    return detectors
+
+
 class WashTradingPipeline:
-    """End-to-end wash trading detection over an :class:`NFTDataset`."""
+    """End-to-end wash trading detection over an :class:`NFTDataset`.
+
+    ``engine`` selects the execution backend: ``"legacy"`` (the default)
+    runs the original networkx reference implementation; ``"columnar"``
+    runs the mask-based engine in :mod:`repro.engine`, optionally
+    sharded across ``workers`` processes.  Both backends produce the
+    same :class:`PipelineResult` (see ``tests/engine/test_parity.py``).
+    """
+
+    ENGINES = ("legacy", "columnar")
 
     def __init__(
         self,
@@ -135,7 +168,14 @@ class WashTradingPipeline:
         config: Optional[DetectionConfig] = None,
         enabled_methods: Optional[Iterable[DetectionMethod]] = None,
         funnel: Optional[RefinementFunnel] = None,
+        engine: str = "legacy",
+        workers: int = 0,
+        shards: Optional[int] = None,
     ) -> None:
+        if engine not in self.ENGINES:
+            raise ValueError(
+                f"unknown engine {engine!r}; expected one of {self.ENGINES}"
+            )
         self.labels = labels
         self.is_contract = is_contract
         self.config = config or DetectionConfig()
@@ -145,21 +185,37 @@ class WashTradingPipeline:
             else set(DetectionMethod)
         )
         self.funnel = funnel or RefinementFunnel(labels=labels, is_contract=is_contract)
+        self.engine = engine
+        self.workers = workers
+        self.shards = shards
 
     def _detectors(self) -> List[Detector]:
-        detectors: List[Detector] = []
-        if DetectionMethod.ZERO_RISK in self.enabled_methods:
-            detectors.append(ZeroRiskDetector())
-        if DetectionMethod.COMMON_FUNDER in self.enabled_methods:
-            detectors.append(CommonFunderDetector())
-        if DetectionMethod.COMMON_EXIT in self.enabled_methods:
-            detectors.append(CommonExitDetector())
-        if DetectionMethod.SELF_TRADE in self.enabled_methods:
-            detectors.append(SelfTradeDetector())
-        return detectors
+        return build_detectors(self.enabled_methods)
+
+    def _run_engine(self, dataset: NFTDataset) -> PipelineResult:
+        """The columnar engine branch; lazy import avoids a module cycle."""
+        from repro.engine.executor import run_columnar_pipeline
+
+        refinement, activities, unconfirmed = run_columnar_pipeline(
+            dataset,
+            labels=self.labels,
+            is_contract=self.is_contract,
+            config=self.config,
+            enabled_methods=self.enabled_methods,
+            workers=self.workers,
+            shards=self.shards,
+            skip_service_removal=self.funnel.skip_service_removal,
+            skip_contract_removal=self.funnel.skip_contract_removal,
+            skip_zero_volume_removal=self.funnel.skip_zero_volume_removal,
+        )
+        return PipelineResult(
+            refinement=refinement, activities=activities, unconfirmed=unconfirmed
+        )
 
     def run(self, dataset: NFTDataset) -> PipelineResult:
         """Run refinement and every enabled confirmation technique."""
+        if self.engine == "columnar":
+            return self._run_engine(dataset)
         refinement = self.funnel.run(dataset)
         context = DetectionContext(
             dataset=dataset,

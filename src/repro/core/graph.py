@@ -9,6 +9,7 @@ timestamp, transaction hash, interacted smart contract and amount paid.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
@@ -25,6 +26,8 @@ class NFTTransactionGraph:
     nft: NFTKey
     graph: nx.MultiDiGraph
     transfers: List[NFTTransfer] = field(default_factory=list)
+    #: Sorted transfer timestamps, built lazily for bisect-based queries.
+    _timestamps: Optional[List[int]] = field(default=None, repr=False, compare=False)
 
     # -- structure ---------------------------------------------------------
     @property
@@ -53,6 +56,8 @@ class NFTTransactionGraph:
     def without_nodes(self, excluded: Iterable[str]) -> "NFTTransactionGraph":
         """A copy of the graph with the given accounts (and their edges) removed."""
         excluded_set = set(excluded)
+        if not excluded_set or excluded_set.isdisjoint(self.graph.nodes):
+            return self
         kept_transfers = [
             transfer
             for transfer in self.transfers
@@ -70,13 +75,19 @@ class NFTTransactionGraph:
         """The latest transfer of the NFT, if any."""
         return self.transfers[-1] if self.transfers else None
 
+    def _sorted_timestamps(self) -> List[int]:
+        """Transfer timestamps, cached; valid because transfers are sorted."""
+        if self._timestamps is None:
+            self._timestamps = [transfer.timestamp for transfer in self.transfers]
+        return self._timestamps
+
     def transfers_before(self, timestamp: int) -> List[NFTTransfer]:
         """Transfers strictly earlier than a timestamp."""
-        return [transfer for transfer in self.transfers if transfer.timestamp < timestamp]
+        return self.transfers[: bisect_left(self._sorted_timestamps(), timestamp)]
 
     def transfers_after(self, timestamp: int) -> List[NFTTransfer]:
         """Transfers strictly later than a timestamp."""
-        return [transfer for transfer in self.transfers if transfer.timestamp > timestamp]
+        return self.transfers[bisect_right(self._sorted_timestamps(), timestamp) :]
 
     # -- volume -------------------------------------------------------------------
     @property

@@ -7,13 +7,102 @@ self-trade is a one-node wash trade).  This module provides both an
 independent iterative Tarjan implementation and a NetworkX-backed one;
 tests cross-check them against each other, and the pipeline uses the
 NetworkX path by default, as the paper does.
+
+The iterative Tarjan is split in two layers: a flat, integer-indexed
+adjacency-list core (:func:`tarjan_scc_adjacency`) used directly by the
+columnar detection engine, and a thin graph-object wrapper
+(:func:`tarjan_scc`) that preserves the original NetworkX-facing API.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Iterable, List, Set
+from typing import Hashable, List, Sequence, Set
 
 import networkx as nx
+
+
+def tarjan_scc_adjacency(
+    node_count: int, adjacency: Sequence[Sequence[int]]
+) -> List[List[int]]:
+    """Iterative Tarjan SCC over an integer adjacency list.
+
+    Nodes are the integers ``0 .. node_count - 1``; ``adjacency[u]`` lists
+    the successors of ``u`` (duplicates are harmless, so multigraph edges
+    can be passed as-is).  Returns every strongly connected component,
+    including trivial single-node ones, in reverse topological order of
+    the condensation (the classic Tarjan emission order).
+    """
+    index = [-1] * node_count
+    lowlink = [0] * node_count
+    on_stack = [False] * node_count
+    stack: List[int] = []
+    components: List[List[int]] = []
+    counter = 0
+
+    for root in range(node_count):
+        if index[root] != -1:
+            continue
+        # Each frame is (node, position of the next successor to visit).
+        work: List[List[int]] = [[root, 0]]
+        index[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack[root] = True
+
+        while work:
+            frame = work[-1]
+            node = frame[0]
+            successors = adjacency[node]
+            advanced = False
+            position = frame[1]
+            while position < len(successors):
+                successor = successors[position]
+                position += 1
+                if index[successor] == -1:
+                    frame[1] = position
+                    index[successor] = lowlink[successor] = counter
+                    counter += 1
+                    stack.append(successor)
+                    on_stack[successor] = True
+                    work.append([successor, 0])
+                    advanced = True
+                    break
+                if on_stack[successor] and index[successor] < lowlink[node]:
+                    lowlink[node] = index[successor]
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                if lowlink[node] < lowlink[parent]:
+                    lowlink[parent] = lowlink[node]
+            if lowlink[node] == index[node]:
+                component: List[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = False
+                    component.append(member)
+                    if member == node:
+                        break
+                components.append(component)
+    return components
+
+
+def kept_components_adjacency(
+    node_count: int,
+    adjacency: Sequence[Sequence[int]],
+    has_self_loop: Sequence[bool],
+) -> List[List[int]]:
+    """SCCs under the paper's definition, over a flat adjacency list.
+
+    Keeps components with at least two nodes, plus single-node components
+    whose node has a self-loop (``has_self_loop[u]`` flags those).
+    """
+    kept: List[List[int]] = []
+    for component in tarjan_scc_adjacency(node_count, adjacency):
+        if len(component) >= 2 or has_self_loop[component[0]]:
+            kept.append(component)
+    return kept
 
 
 def tarjan_scc(graph: nx.DiGraph | nx.MultiDiGraph) -> List[Set[Hashable]]:
@@ -23,53 +112,15 @@ def tarjan_scc(graph: nx.DiGraph | nx.MultiDiGraph) -> List[Set[Hashable]]:
     single-node ones, in reverse topological order of the condensation
     (the classic Tarjan emission order).
     """
-    index_counter = 0
-    index: dict[Hashable, int] = {}
-    lowlink: dict[Hashable, int] = {}
-    on_stack: Set[Hashable] = set()
-    stack: List[Hashable] = []
-    components: List[Set[Hashable]] = []
-
-    for root in graph.nodes:
-        if root in index:
-            continue
-        # Each frame is (node, iterator over successors).
-        work: List[tuple[Hashable, Iterable[Hashable]]] = [(root, iter(graph.successors(root)))]
-        index[root] = lowlink[root] = index_counter
-        index_counter += 1
-        stack.append(root)
-        on_stack.add(root)
-
-        while work:
-            node, successors = work[-1]
-            advanced = False
-            for successor in successors:
-                if successor not in index:
-                    index[successor] = lowlink[successor] = index_counter
-                    index_counter += 1
-                    stack.append(successor)
-                    on_stack.add(successor)
-                    work.append((successor, iter(graph.successors(successor))))
-                    advanced = True
-                    break
-                if successor in on_stack:
-                    lowlink[node] = min(lowlink[node], index[successor])
-            if advanced:
-                continue
-            work.pop()
-            if work:
-                parent = work[-1][0]
-                lowlink[parent] = min(lowlink[parent], lowlink[node])
-            if lowlink[node] == index[node]:
-                component: Set[Hashable] = set()
-                while True:
-                    member = stack.pop()
-                    on_stack.discard(member)
-                    component.add(member)
-                    if member == node:
-                        break
-                components.append(component)
-    return components
+    nodes = list(graph.nodes)
+    ids = {node: position for position, node in enumerate(nodes)}
+    adjacency = [
+        [ids[successor] for successor in graph.successors(node)] for node in nodes
+    ]
+    return [
+        {nodes[member] for member in component}
+        for component in tarjan_scc_adjacency(len(nodes), adjacency)
+    ]
 
 
 def strongly_connected_components(

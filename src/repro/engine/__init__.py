@@ -1,0 +1,51 @@
+"""The columnar detection engine.
+
+A production-oriented execution path for the Sec. IV detection stack,
+layered as:
+
+* :mod:`repro.engine.store` -- :class:`ColumnarTransferStore`, interned
+  accounts and flat per-NFT transfer columns built once per dataset.
+* :mod:`repro.engine.refine` -- mask-based candidate search and
+  refinement; exclusion stages are integer-set masks over the columns
+  instead of graph rebuilds.
+* :mod:`repro.engine.executor` -- contiguous token shards executed
+  serially or on a process pool, merged deterministically.
+
+The legacy networkx implementation in :mod:`repro.core` remains the
+reference; ``WashTradingPipeline(engine="columnar")`` selects this one,
+and the parity tests in ``tests/engine`` pin the two to identical
+output.
+"""
+
+from repro.engine.executor import (
+    AccountSetPredicate,
+    SharedPayload,
+    ShardResult,
+    partition_tokens,
+    run_columnar_pipeline,
+)
+from repro.engine.refine import (
+    STAGE_NAMES,
+    ShardRefinement,
+    StageAccumulator,
+    TokenComponent,
+    refine_tokens,
+    token_components,
+)
+from repro.engine.store import ColumnarTransferStore, TokenColumns
+
+__all__ = [
+    "AccountSetPredicate",
+    "ColumnarTransferStore",
+    "STAGE_NAMES",
+    "SharedPayload",
+    "ShardRefinement",
+    "ShardResult",
+    "StageAccumulator",
+    "TokenColumns",
+    "TokenComponent",
+    "partition_tokens",
+    "refine_tokens",
+    "run_columnar_pipeline",
+    "token_components",
+]

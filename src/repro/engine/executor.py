@@ -1,0 +1,272 @@
+"""Sharded execution of the columnar detection engine.
+
+The executor partitions the store's tokens into contiguous shards and
+runs refinement plus the four per-component confirmation techniques
+independently per shard, either serially (the deterministic fallback and
+the default) or on a ``ProcessPoolExecutor``.  Shard results are merged
+in shard order, so the final candidate and activity lists line up with a
+serial run regardless of worker count; the repeated-SCC rule needs the
+global pool of confirmed account sets and therefore always runs once in
+the parent, after the merge -- exactly where the legacy pipeline applies
+it.
+
+Everything a worker needs travels in a :class:`SharedPayload` handed to
+the pool initializer: the interned account table, the exclusion masks,
+the label registry, the detection config and the per-account transaction
+index.  Callables that may not pickle (``is_contract`` is usually a
+bound method of a live world) are reduced to frozen address sets before
+any fork.
+"""
+
+from __future__ import annotations
+
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.chain.types import NFTKey
+from repro.core.activity import (
+    CandidateComponent,
+    DetectionEvidence,
+    DetectionMethod,
+    WashTradingActivity,
+)
+from repro.core.detectors.base import DetectionConfig, DetectionContext
+from repro.core.detectors.repeated_scc import confirm_repeated_components
+from repro.core.refine import RefinementResult
+from repro.engine.refine import STAGE_NAMES, StageAccumulator, refine_tokens
+from repro.engine.store import ColumnarTransferStore, TokenColumns
+
+
+class AccountSetPredicate:
+    """A picklable account predicate: membership in a frozen address set.
+
+    Stands in for live callables (``world.is_contract`` and friends) when
+    shard tasks cross a process boundary.
+    """
+
+    def __init__(self, members: Iterable[str]) -> None:
+        self.members = frozenset(members)
+
+    def __call__(self, address: str) -> bool:
+        return address in self.members
+
+
+class TransactionView:
+    """The minimal dataset surface detectors touch: ``transactions_of``."""
+
+    def __init__(self, account_transactions: Dict[str, list]) -> None:
+        self.account_transactions = account_transactions
+
+    def transactions_of(self, account: str) -> list:
+        """All standard transactions collected for an account."""
+        return self.account_transactions.get(account, [])
+
+
+@dataclass
+class SharedPayload:
+    """Read-only state shared by every shard worker.
+
+    ``contract_addresses`` deliberately covers only interned accounts
+    (transfer endpoints): it backs the worker-side ``is_contract`` of
+    the :class:`DetectionContext`, which no current detector consults.
+    A future detector needing bytecode checks on arbitrary counterparty
+    addresses must widen this set rather than rely on it.
+    """
+
+    accounts: List[str]
+    service_ids: FrozenSet[int]
+    contract_ids: FrozenSet[int]
+    contract_addresses: FrozenSet[str]
+    labels: object
+    config: DetectionConfig
+    enabled_methods: FrozenSet[DetectionMethod]
+    account_transactions: Dict[str, list]
+    skip_service_removal: bool = False
+    skip_contract_removal: bool = False
+    skip_zero_volume_removal: bool = False
+
+
+@dataclass
+class ShardResult:
+    """Everything one shard produces, mergeable in shard order."""
+
+    candidates: List[CandidateComponent]
+    activities: List[WashTradingActivity]
+    unconfirmed: List[CandidateComponent]
+    stages: List[StageAccumulator]
+
+
+def partition_tokens(nfts: Sequence[NFTKey], shard_count: int) -> List[List[NFTKey]]:
+    """Split token keys into at most ``shard_count`` contiguous chunks.
+
+    Contiguity in store order is what makes the merged results identical
+    to a serial run: concatenating the shards restores the original
+    token order.
+    """
+    if not nfts:
+        return []
+    shard_count = max(1, min(shard_count, len(nfts)))
+    base, extra = divmod(len(nfts), shard_count)
+    shards: List[List[NFTKey]] = []
+    start = 0
+    for position in range(shard_count):
+        size = base + (1 if position < extra else 0)
+        shards.append(list(nfts[start : start + size]))
+        start += size
+    return shards
+
+
+def _run_shard(tokens: Sequence[TokenColumns], payload: SharedPayload) -> ShardResult:
+    """Refine one shard's tokens and run the per-component detectors."""
+    refinement = refine_tokens(
+        payload.accounts,
+        tokens,
+        service_ids=payload.service_ids,
+        contract_ids=payload.contract_ids,
+        skip_service_removal=payload.skip_service_removal,
+        skip_contract_removal=payload.skip_contract_removal,
+        skip_zero_volume_removal=payload.skip_zero_volume_removal,
+    )
+    from repro.core.detectors.pipeline import build_detectors
+
+    detectors = build_detectors(payload.enabled_methods)
+    context = DetectionContext(
+        dataset=TransactionView(payload.account_transactions),
+        labels=payload.labels,
+        is_contract=AccountSetPredicate(payload.contract_addresses),
+        config=payload.config,
+    )
+    activities: List[WashTradingActivity] = []
+    unconfirmed: List[CandidateComponent] = []
+    for component in refinement.candidates:
+        evidence: List[DetectionEvidence] = []
+        for detector in detectors:
+            found = detector.detect(component, context)
+            if found is not None:
+                evidence.append(found)
+        if evidence:
+            activities.append(
+                WashTradingActivity(component=component, evidence=evidence)
+            )
+        else:
+            unconfirmed.append(component)
+    return ShardResult(
+        candidates=refinement.candidates,
+        activities=activities,
+        unconfirmed=unconfirmed,
+        stages=refinement.stages,
+    )
+
+
+#: Worker-process state, populated once by the pool initializer.
+_WORKER_PAYLOAD: List[SharedPayload] = []
+
+
+def _init_worker(payload: SharedPayload) -> None:
+    _WORKER_PAYLOAD.clear()
+    _WORKER_PAYLOAD.append(payload)
+
+
+def _run_shard_in_worker(tokens: Sequence[TokenColumns]) -> ShardResult:
+    return _run_shard(tokens, _WORKER_PAYLOAD[0])
+
+
+def run_columnar_pipeline(
+    dataset,
+    labels,
+    is_contract: Callable[[str], bool],
+    config: Optional[DetectionConfig] = None,
+    enabled_methods: Optional[Iterable[DetectionMethod]] = None,
+    workers: int = 0,
+    shards: Optional[int] = None,
+    skip_service_removal: bool = False,
+    skip_contract_removal: bool = False,
+    skip_zero_volume_removal: bool = False,
+    store: Optional[ColumnarTransferStore] = None,
+) -> Tuple[RefinementResult, List[WashTradingActivity], List[CandidateComponent]]:
+    """Run the full engine pipeline and return the merged pieces.
+
+    Returns ``(refinement, activities, unconfirmed)``; the caller (the
+    ``WashTradingPipeline`` engine branch) wraps them into the regular
+    :class:`PipelineResult`.  ``workers <= 1`` runs the deterministic
+    serial path; larger values fan shards out to a process pool and fall
+    back to serial execution if the pool cannot be used (e.g. payload
+    pickling fails on an exotic dataset).
+    """
+    if store is None:
+        store = dataset.columnar_store()
+    methods = (
+        frozenset(enabled_methods)
+        if enabled_methods is not None
+        else frozenset(DetectionMethod)
+    )
+    # Skipped stages never pay the per-account predicate cost (a bytecode
+    # or label check per interned account on real deployments).
+    service_ids = (
+        frozenset()
+        if skip_service_removal
+        else store.ids_matching(labels.is_graph_excluded_service)
+    )
+    contract_ids = (
+        frozenset() if skip_contract_removal else store.ids_matching(is_contract)
+    )
+    payload = SharedPayload(
+        accounts=store.accounts,
+        service_ids=service_ids,
+        contract_ids=contract_ids,
+        contract_addresses=store.addresses_of(contract_ids),
+        labels=labels,
+        config=config or DetectionConfig(),
+        enabled_methods=methods,
+        account_transactions=dataset.account_transactions,
+        skip_service_removal=skip_service_removal,
+        skip_contract_removal=skip_contract_removal,
+        skip_zero_volume_removal=skip_zero_volume_removal,
+    )
+
+    shard_count = shards if shards is not None else (workers * 4 if workers > 1 else 1)
+    shard_keys = partition_tokens(store.nfts(), shard_count)
+    shard_tokens = [
+        [store.tokens[nft] for nft in keys] for keys in shard_keys
+    ]
+
+    results: Optional[List[ShardResult]] = None
+    if workers > 1 and len(shard_tokens) > 1:
+        try:
+            with ProcessPoolExecutor(
+                max_workers=workers, initializer=_init_worker, initargs=(payload,)
+            ) as pool:
+                results = list(pool.map(_run_shard_in_worker, shard_tokens))
+        except Exception as error:  # pool or pickling failure -> serial fallback
+            warnings.warn(
+                f"columnar engine process pool failed ({error!r}); "
+                "falling back to serial shard execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            results = None
+    if results is None:
+        results = [_run_shard(tokens, payload) for tokens in shard_tokens]
+
+    merged_stages = [StageAccumulator(name=name) for name in STAGE_NAMES]
+    candidates: List[CandidateComponent] = []
+    activities: List[WashTradingActivity] = []
+    unconfirmed: List[CandidateComponent] = []
+    for result in results:
+        for merged, stage in zip(merged_stages, result.stages):
+            merged.merge(stage)
+        candidates.extend(result.candidates)
+        activities.extend(result.activities)
+        unconfirmed.extend(result.unconfirmed)
+
+    if DetectionMethod.REPEATED_SCC in methods:
+        repeated, unconfirmed = confirm_repeated_components(unconfirmed, activities)
+        activities.extend(repeated)
+
+    refinement = RefinementResult(
+        candidates=candidates,
+        stages=[accumulator.to_stage() for accumulator in merged_stages],
+    )
+    return refinement, activities, unconfirmed

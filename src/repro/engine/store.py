@@ -1,0 +1,184 @@
+"""Columnar transfer storage for the detection engine.
+
+The legacy pipeline materializes a networkx ``MultiDiGraph`` per NFT and
+rebuilds every graph from scratch at each refinement stage.  The engine
+instead builds one :class:`ColumnarTransferStore` per dataset: accounts
+are interned into dense integer ids shared across the whole store, and
+each NFT's transfers become flat, parallel arrays (timestamps, sender
+ids, recipient ids, payment flags) sorted once in the same order the
+legacy graph builder uses.  Refinement stages then reduce to integer set
+operations over these arrays -- no object graphs are ever rebuilt.
+"""
+
+from __future__ import annotations
+
+from array import array
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+from repro.chain.types import NFTKey
+from repro.ingest.records import NFTTransfer
+
+
+@dataclass
+class TokenColumns:
+    """The transfers of one NFT as flat, parallel columns.
+
+    ``transfers[i]`` corresponds to ``timestamps[i]``, ``senders[i]``,
+    ``recipients[i]`` and ``payment_flags[i]``; sender/recipient entries
+    are store-wide interned account ids.  Rows are sorted by
+    ``(timestamp, block_number, tx_hash)`` exactly like the legacy
+    ``build_transaction_graph``.
+    """
+
+    nft: NFTKey
+    transfers: Tuple[NFTTransfer, ...]
+    timestamps: array
+    senders: array
+    recipients: array
+    #: 1 where the carrying transaction moved ETH or ERC-20 value.
+    payment_flags: bytes
+    #: Distinct account ids appearing in this token's rows.
+    account_ids: FrozenSet[int]
+
+    @property
+    def row_count(self) -> int:
+        """Number of transfers of this NFT."""
+        return len(self.transfers)
+
+    def touched_by(self, excluded: FrozenSet[int]) -> bool:
+        """True if any account of this token is in the excluded id set."""
+        if not excluded:
+            return False
+        if len(self.account_ids) <= len(excluded):
+            return not self.account_ids.isdisjoint(excluded)
+        return not excluded.isdisjoint(self.account_ids)
+
+
+class ColumnarTransferStore:
+    """Every NFT's transfers in interned, columnar form.
+
+    Built once per dataset; the refinement funnel and the sharded
+    executor only ever read it.  Token insertion order matches the
+    dataset's ``transfers_by_nft`` iteration order so results merged from
+    shards line up with the legacy pipeline's candidate order.
+    """
+
+    def __init__(self) -> None:
+        #: id -> account address.
+        self.accounts: List[str] = []
+        self._ids: Dict[str, int] = {}
+        self.tokens: Dict[NFTKey, TokenColumns] = {}
+
+    # -- construction ------------------------------------------------------
+    def intern(self, address: str) -> int:
+        """Return the dense id of an account, creating one if unseen."""
+        existing = self._ids.get(address)
+        if existing is not None:
+            return existing
+        new_id = len(self.accounts)
+        self._ids[address] = new_id
+        self.accounts.append(address)
+        return new_id
+
+    def add_token(self, nft: NFTKey, transfers: Sequence[NFTTransfer]) -> TokenColumns:
+        """Intern and columnarize the transfers of one NFT."""
+        ordered = tuple(
+            sorted(
+                transfers,
+                key=lambda item: (item.timestamp, item.block_number, item.tx_hash),
+            )
+        )
+        timestamps = array("q")
+        senders = array("q")
+        recipients = array("q")
+        payment_flags = bytearray(len(ordered))
+        token_ids: set[int] = set()
+        for row, transfer in enumerate(ordered):
+            sender_id = self.intern(transfer.sender)
+            recipient_id = self.intern(transfer.recipient)
+            timestamps.append(transfer.timestamp)
+            senders.append(sender_id)
+            recipients.append(recipient_id)
+            if transfer.has_payment:
+                payment_flags[row] = 1
+            token_ids.add(sender_id)
+            token_ids.add(recipient_id)
+        columns = TokenColumns(
+            nft=nft,
+            transfers=ordered,
+            timestamps=timestamps,
+            senders=senders,
+            recipients=recipients,
+            payment_flags=bytes(payment_flags),
+            account_ids=frozenset(token_ids),
+        )
+        self.tokens[nft] = columns
+        return columns
+
+    @classmethod
+    def from_transfers(
+        cls, transfers_by_nft: Mapping[NFTKey, Sequence[NFTTransfer]]
+    ) -> "ColumnarTransferStore":
+        """Build a store from a transfers-per-NFT mapping."""
+        store = cls()
+        for nft, transfers in transfers_by_nft.items():
+            store.add_token(nft, transfers)
+        return store
+
+    @classmethod
+    def from_dataset(cls, dataset) -> "ColumnarTransferStore":
+        """Build a store from an :class:`~repro.ingest.dataset.NFTDataset`."""
+        return cls.from_transfers(dataset.transfers_by_nft)
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def token_count(self) -> int:
+        """Number of NFTs in the store."""
+        return len(self.tokens)
+
+    @property
+    def account_count(self) -> int:
+        """Number of distinct interned accounts."""
+        return len(self.accounts)
+
+    @property
+    def transfer_count(self) -> int:
+        """Total rows across every token."""
+        return sum(columns.row_count for columns in self.tokens.values())
+
+    def account_id(self, address: str) -> int:
+        """The id of an interned account (KeyError if unseen)."""
+        return self._ids[address]
+
+    def address_of(self, account_id: int) -> str:
+        """The address behind an interned id."""
+        return self.accounts[account_id]
+
+    def addresses_of(self, account_ids: Iterable[int]) -> FrozenSet[str]:
+        """The addresses behind a set of interned ids."""
+        return frozenset(self.accounts[account_id] for account_id in account_ids)
+
+    def ids_matching(self, predicate: Callable[[str], bool]) -> FrozenSet[int]:
+        """Ids of every interned account satisfying a predicate.
+
+        This is how refinement turns its account-level exclusion rules
+        (service labels, bytecode checks) into integer masks: the
+        predicate runs once per distinct account instead of once per
+        graph node per stage.
+        """
+        return frozenset(
+            account_id
+            for account_id, address in enumerate(self.accounts)
+            if predicate(address)
+        )
+
+    def nfts(self) -> List[NFTKey]:
+        """Token keys in insertion (dataset) order."""
+        return list(self.tokens)
+
+    def __iter__(self) -> Iterator[TokenColumns]:
+        return iter(self.tokens.values())
+
+    def __len__(self) -> int:
+        return len(self.tokens)

@@ -49,6 +49,8 @@ class NFTDataset:
     scan: TransferScanResult
     account_transactions: Dict[str, List[Transaction]]
     marketplace_addresses: Mapping[str, str]
+    #: Lazily built columnar view consumed by the detection engine.
+    _columnar_store: Optional[object] = field(default=None, repr=False, compare=False)
 
     # -- sizes -----------------------------------------------------------------
     @property
@@ -97,6 +99,19 @@ class NFTDataset:
     def transactions_of(self, account: str) -> List[Transaction]:
         """All standard transactions collected for an account."""
         return self.account_transactions.get(account, [])
+
+    def columnar_store(self):
+        """The interned columnar view of the transfers, built once.
+
+        The detection engine (:mod:`repro.engine`) consumes this instead
+        of rebuilding per-NFT graphs; repeated pipeline runs over the
+        same dataset share the one store.
+        """
+        if self._columnar_store is None:
+            from repro.engine.store import ColumnarTransferStore
+
+            self._columnar_store = ColumnarTransferStore.from_dataset(self)
+        return self._columnar_store
 
     # -- volumes ------------------------------------------------------------------
     @property

@@ -8,7 +8,12 @@ from hypothesis import given, settings, strategies as st
 
 from repro.chain.types import NFTKey
 from repro.core.graph import build_transaction_graph
-from repro.core.scc import strongly_connected_components, tarjan_scc
+from repro.core.scc import (
+    kept_components_adjacency,
+    strongly_connected_components,
+    tarjan_scc,
+    tarjan_scc_adjacency,
+)
 from repro.ingest.records import NFTTransfer
 
 NFT = NFTKey(contract="0x" + "c" * 40, token_id=1)
@@ -76,6 +81,39 @@ class TestTransactionGraph:
         graph = build_transaction_graph(NFT, transfers)
         assert len(graph.transfers_before(5)) == 1
         assert len(graph.transfers_after(1)) == 1
+
+    def test_before_and_after_are_strict_on_equal_timestamps(self):
+        transfers = [
+            make_transfer("A", "B", 3),
+            make_transfer("B", "C", 5, tx_hash="0x01"),
+            make_transfer("C", "D", 5, tx_hash="0x02"),
+            make_transfer("D", "E", 9),
+        ]
+        graph = build_transaction_graph(NFT, transfers)
+        assert [t.timestamp for t in graph.transfers_before(5)] == [3]
+        assert [t.timestamp for t in graph.transfers_after(5)] == [9]
+        assert graph.transfers_before(0) == []
+        assert graph.transfers_after(9) == []
+        assert len(graph.transfers_before(100)) == 4
+        assert len(graph.transfers_after(0)) == 4
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=20), max_size=15),
+        st.integers(min_value=-1, max_value=21),
+    )
+    def test_bisect_queries_match_linear_scan(self, timestamps, pivot):
+        transfers = [
+            make_transfer("A", "B", ts, tx_hash=f"0x{position}")
+            for position, ts in enumerate(timestamps)
+        ]
+        graph = build_transaction_graph(NFT, transfers)
+        assert graph.transfers_before(pivot) == [
+            t for t in graph.transfers if t.timestamp < pivot
+        ]
+        assert graph.transfers_after(pivot) == [
+            t for t in graph.transfers if t.timestamp > pivot
+        ]
 
 
 class TestSCCDefinition:
@@ -145,6 +183,41 @@ def test_tarjan_agrees_with_networkx_on_random_graphs(graph):
     ours = {frozenset(component) for component in tarjan_scc(graph)}
     reference = {frozenset(component) for component in nx.strongly_connected_components(graph)}
     assert ours == reference
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_digraphs())
+def test_adjacency_tarjan_agrees_with_networkx_on_random_graphs(graph):
+    """The flat adjacency-list Tarjan core partitions exactly like NetworkX."""
+    nodes = list(graph.nodes)
+    ids = {node: position for position, node in enumerate(nodes)}
+    adjacency = [[ids[succ] for succ in graph.successors(node)] for node in nodes]
+    ours = {
+        frozenset(nodes[member] for member in component)
+        for component in tarjan_scc_adjacency(len(nodes), adjacency)
+    }
+    reference = {
+        frozenset(component) for component in nx.strongly_connected_components(graph)
+    }
+    assert ours == reference
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_digraphs())
+def test_kept_adjacency_components_match_paper_rule(graph):
+    """kept_components_adjacency applies the same keep rule as the nx path."""
+    nodes = list(graph.nodes)
+    ids = {node: position for position, node in enumerate(nodes)}
+    adjacency = [[ids[succ] for succ in graph.successors(node)] for node in nodes]
+    self_loop = [graph.has_edge(node, node) for node in nodes]
+    kept = {
+        frozenset(nodes[member] for member in component)
+        for component in kept_components_adjacency(len(nodes), adjacency, self_loop)
+    }
+    reference = {
+        frozenset(component) for component in strongly_connected_components(graph)
+    }
+    assert kept == reference
 
 
 @settings(max_examples=60, deadline=None)

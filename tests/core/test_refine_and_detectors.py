@@ -258,3 +258,51 @@ class TestRepeatedSCC:
         result = pipeline.run(world.dataset())
         assert result.activity_count == 0
         assert result.candidate_count == 1
+
+
+class TestKindCountReporting:
+    def make_result(self, kind):
+        """A PipelineResult with one activity carrying a given funder kind."""
+        from repro.chain.types import NFTKey
+        from repro.core.activity import (
+            CandidateComponent,
+            DetectionEvidence,
+            WashTradingActivity,
+        )
+        from repro.core.detectors.pipeline import PipelineResult
+        from repro.core.refine import RefinementResult
+
+        component = CandidateComponent(
+            nft=NFTKey(contract="0x" + "a" * 40, token_id=1),
+            accounts=frozenset({"0x1", "0x2"}),
+            transfers=(),
+        )
+        activity = WashTradingActivity(
+            component=component,
+            evidence=[
+                DetectionEvidence(
+                    method=DetectionMethod.COMMON_FUNDER, details={"kind": kind}
+                ),
+                DetectionEvidence(
+                    method=DetectionMethod.COMMON_EXIT, details={"kind": kind}
+                ),
+            ],
+        )
+        return PipelineResult(
+            refinement=RefinementResult(candidates=[component], stages=[]),
+            activities=[activity],
+            unconfirmed=[],
+        )
+
+    def test_expected_kinds_are_counted(self):
+        result = self.make_result("external")
+        assert result.funder_kind_counts() == {"internal": 0, "external": 1}
+        assert result.exit_kind_counts() == {"internal": 0, "external": 1}
+
+    def test_unexpected_kind_does_not_crash_the_report(self):
+        result = self.make_result("sidechannel")
+        counts = result.funder_kind_counts()
+        assert counts["sidechannel"] == 1
+        assert counts["internal"] == 0 and counts["external"] == 0
+        exits = result.exit_kind_counts()
+        assert exits["sidechannel"] == 1

@@ -1,0 +1,243 @@
+"""Parity proofs: the columnar engine reproduces the legacy pipeline.
+
+Two layers of evidence:
+
+* randomized cross-checks that mask-based refinement produces the same
+  funnel-stage statistics and candidate sets as the networkx funnel on
+  arbitrary transfer histories, and
+* full-pipeline runs over simulated worlds asserting identical confirmed
+  activities (accounts, methods, transfers, evidence) across the legacy
+  path, the serial engine and the process-pool engine.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chain.types import NFTKey, NULL_ADDRESS
+from repro.core.detectors.pipeline import WashTradingPipeline
+from repro.core.refine import RefinementFunnel
+from repro.engine.refine import refine_tokens
+from repro.engine.store import ColumnarTransferStore
+from repro.ingest.dataset import NFTDataset, build_dataset
+from repro.ingest.records import NFTTransfer
+from repro.services.labels import LabelRegistry
+
+REGULARS = [f"0xa{index}" for index in range(8)]
+SERVICES = ["0xsvc0", "0xsvc1"]
+CONTRACTS = ["0xct0", "0xct1"]
+POOL = REGULARS + SERVICES + CONTRACTS + [NULL_ADDRESS]
+CONTRACT_SET = frozenset(CONTRACTS)
+
+
+def make_labels() -> LabelRegistry:
+    labels = LabelRegistry()
+    for address in SERVICES:
+        labels.add(address, "exchange")
+    return labels
+
+
+def make_transfer(nft, sender, recipient, ts, price, tag):
+    return NFTTransfer(
+        nft=nft,
+        sender=sender,
+        recipient=recipient,
+        tx_hash=f"0xhash{tag}",
+        block_number=ts,
+        timestamp=ts,
+        price_wei=price,
+        gas_fee_wei=10,
+        tx_sender=sender,
+    )
+
+
+def minimal_dataset(transfers_by_nft) -> NFTDataset:
+    """A dataset shell carrying only what the refinement funnel reads."""
+    return NFTDataset(
+        transfers_by_nft=transfers_by_nft,
+        compliance=None,
+        scan=None,
+        account_transactions={},
+        marketplace_addresses={},
+    )
+
+
+def candidate_key(component):
+    return (
+        component.nft.contract,
+        component.nft.token_id,
+        tuple(sorted(component.accounts)),
+        tuple(sorted(transfer.tx_hash for transfer in component.transfers)),
+    )
+
+
+@st.composite
+def random_histories(draw):
+    """A few NFTs with random transfers over the mixed account pool."""
+    token_count = draw(st.integers(min_value=1, max_value=4))
+    histories = {}
+    tag = 0
+    for token_id in range(token_count):
+        nft = NFTKey(contract="0x" + "c" * 40, token_id=token_id)
+        edge_count = draw(st.integers(min_value=0, max_value=14))
+        transfers = []
+        for _ in range(edge_count):
+            sender = draw(st.sampled_from(POOL))
+            recipient = draw(st.sampled_from(POOL))
+            ts = draw(st.integers(min_value=0, max_value=30))
+            price = draw(st.sampled_from([0, 0, 10**18]))
+            transfers.append(make_transfer(nft, sender, recipient, ts, price, tag))
+            tag += 1
+        histories[nft] = transfers
+    return histories
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_histories())
+def test_masked_refinement_matches_legacy_funnel(histories):
+    """Stage statistics and candidate sets agree on arbitrary histories."""
+    labels = make_labels()
+    is_contract = CONTRACT_SET.__contains__
+
+    legacy = RefinementFunnel(labels=labels, is_contract=is_contract).run(
+        minimal_dataset(histories)
+    )
+
+    store = ColumnarTransferStore.from_transfers(histories)
+    engine = refine_tokens(
+        store.accounts,
+        store,
+        service_ids=store.ids_matching(labels.is_graph_excluded_service),
+        contract_ids=store.ids_matching(is_contract),
+    )
+
+    assert [stage.to_stage() for stage in engine.stages] == legacy.stages
+    assert sorted(map(candidate_key, engine.candidates)) == sorted(
+        map(candidate_key, legacy.candidates)
+    )
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    random_histories(),
+    st.booleans(),
+    st.booleans(),
+    st.booleans(),
+)
+def test_masked_refinement_matches_legacy_with_skips(
+    histories, skip_services, skip_contracts, skip_zero_volume
+):
+    """The ablation skip flags behave identically on both paths."""
+    labels = make_labels()
+    is_contract = CONTRACT_SET.__contains__
+
+    legacy = RefinementFunnel(
+        labels=labels,
+        is_contract=is_contract,
+        skip_service_removal=skip_services,
+        skip_contract_removal=skip_contracts,
+        skip_zero_volume_removal=skip_zero_volume,
+    ).run(minimal_dataset(histories))
+
+    store = ColumnarTransferStore.from_transfers(histories)
+    engine = refine_tokens(
+        store.accounts,
+        store,
+        service_ids=store.ids_matching(labels.is_graph_excluded_service),
+        contract_ids=store.ids_matching(is_contract),
+        skip_service_removal=skip_services,
+        skip_contract_removal=skip_contracts,
+        skip_zero_volume_removal=skip_zero_volume,
+    )
+
+    assert [stage.to_stage() for stage in engine.stages] == legacy.stages
+    assert sorted(map(candidate_key, engine.candidates)) == sorted(
+        map(candidate_key, legacy.candidates)
+    )
+
+
+# -- full pipeline parity over simulated worlds --------------------------------
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset(tiny_world):
+    return build_dataset(tiny_world.node, tiny_world.marketplace_addresses)
+
+
+def run_backend(world, dataset, **kwargs):
+    pipeline = WashTradingPipeline(
+        labels=world.labels, is_contract=world.is_contract, **kwargs
+    )
+    return pipeline.run(dataset)
+
+
+def activity_key(activity):
+    return (
+        activity.nft.contract,
+        activity.nft.token_id,
+        tuple(sorted(activity.accounts)),
+        tuple(sorted(method.value for method in activity.methods)),
+        tuple(sorted(t.tx_hash for t in activity.component.transfers)),
+        tuple(
+            sorted(
+                repr(sorted(evidence.details.items()))
+                for evidence in activity.evidence
+            )
+        ),
+    )
+
+
+class TestFullPipelineParity:
+    @pytest.mark.parametrize("workers", [0, 2], ids=["serial", "process-pool"])
+    def test_engine_matches_legacy_on_tiny_world(self, tiny_world, tiny_dataset, workers):
+        legacy = run_backend(tiny_world, tiny_dataset)
+        engine = run_backend(
+            tiny_world, tiny_dataset, engine="columnar", workers=workers
+        )
+
+        assert engine.refinement.stages == legacy.refinement.stages
+        assert sorted(map(candidate_key, engine.refinement.candidates)) == sorted(
+            map(candidate_key, legacy.refinement.candidates)
+        )
+        assert sorted(map(activity_key, engine.activities)) == sorted(
+            map(activity_key, legacy.activities)
+        )
+        assert len(engine.unconfirmed) == len(legacy.unconfirmed)
+        assert engine.count_by_method() == legacy.count_by_method()
+        assert engine.venn_counts() == legacy.venn_counts()
+        assert engine.funder_kind_counts() == legacy.funder_kind_counts()
+        assert engine.exit_kind_counts() == legacy.exit_kind_counts()
+        assert engine.washed_nfts() == legacy.washed_nfts()
+
+    def test_shard_count_does_not_change_results(self, tiny_world, tiny_dataset):
+        one = run_backend(tiny_world, tiny_dataset, engine="columnar", shards=1)
+        many = run_backend(tiny_world, tiny_dataset, engine="columnar", shards=7)
+        assert one.refinement.stages == many.refinement.stages
+        assert list(map(candidate_key, one.refinement.candidates)) == list(
+            map(candidate_key, many.refinement.candidates)
+        )
+        assert sorted(map(activity_key, one.activities)) == sorted(
+            map(activity_key, many.activities)
+        )
+
+    def test_engine_respects_enabled_methods(self, tiny_world, tiny_dataset):
+        from repro.core.activity import DetectionMethod
+
+        methods = {DetectionMethod.SELF_TRADE, DetectionMethod.ZERO_RISK}
+        legacy = run_backend(tiny_world, tiny_dataset, enabled_methods=methods)
+        engine = run_backend(
+            tiny_world, tiny_dataset, enabled_methods=methods, engine="columnar"
+        )
+        assert sorted(map(activity_key, engine.activities)) == sorted(
+            map(activity_key, legacy.activities)
+        )
+        assert engine.count_by_method() == legacy.count_by_method()
+
+    def test_unknown_engine_rejected(self, tiny_world):
+        with pytest.raises(ValueError):
+            WashTradingPipeline(
+                labels=tiny_world.labels,
+                is_contract=tiny_world.is_contract,
+                engine="quantum",
+            )

@@ -1,0 +1,195 @@
+"""Unit tests for the columnar store, mask components and sharding."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.chain.types import NFTKey
+from repro.core.graph import build_transaction_graph
+from repro.engine.executor import AccountSetPredicate, partition_tokens
+from repro.engine.refine import token_components
+from repro.engine.store import ColumnarTransferStore
+from repro.ingest.records import NFTTransfer
+
+NFT = NFTKey(contract="0x" + "d" * 40, token_id=7)
+
+
+def make_transfer(sender, recipient, ts=0, price=0, block=None):
+    return NFTTransfer(
+        nft=NFT,
+        sender=sender,
+        recipient=recipient,
+        tx_hash=f"0x{sender}-{recipient}-{ts}",
+        block_number=block if block is not None else ts,
+        timestamp=ts,
+        price_wei=price,
+        gas_fee_wei=10,
+        tx_sender=sender,
+    )
+
+
+class TestColumnarTransferStore:
+    def test_interning_is_stable_and_dense(self):
+        store = ColumnarTransferStore()
+        first = store.intern("A")
+        second = store.intern("B")
+        assert store.intern("A") == first
+        assert (first, second) == (0, 1)
+        assert store.accounts == ["A", "B"]
+        assert store.address_of(second) == "B"
+        assert store.account_id("B") == second
+
+    def test_rows_sorted_like_legacy_graph(self):
+        transfers = [
+            make_transfer("B", "C", ts=9),
+            make_transfer("A", "B", ts=1),
+            make_transfer("C", "A", ts=9, block=8),
+        ]
+        store = ColumnarTransferStore.from_transfers({NFT: transfers})
+        columns = store.tokens[NFT]
+        legacy = build_transaction_graph(NFT, transfers)
+        assert list(columns.transfers) == legacy.transfers
+        assert list(columns.timestamps) == [t.timestamp for t in legacy.transfers]
+
+    def test_columns_align_with_transfers(self):
+        transfers = [make_transfer("A", "B", ts=1, price=5), make_transfer("B", "B", ts=2)]
+        store = ColumnarTransferStore.from_transfers({NFT: transfers})
+        columns = store.tokens[NFT]
+        for row in range(columns.row_count):
+            transfer = columns.transfers[row]
+            assert store.address_of(columns.senders[row]) == transfer.sender
+            assert store.address_of(columns.recipients[row]) == transfer.recipient
+            assert bool(columns.payment_flags[row]) == transfer.has_payment
+        assert columns.account_ids == {store.account_id("A"), store.account_id("B")}
+
+    def test_counts_and_order(self):
+        other = NFTKey(contract="0x" + "e" * 40, token_id=1)
+        store = ColumnarTransferStore.from_transfers(
+            {NFT: [make_transfer("A", "B", 1)], other: [make_transfer("B", "A", 2)]}
+        )
+        assert store.token_count == 2
+        assert store.transfer_count == 2
+        assert store.account_count == 2
+        assert store.nfts() == [NFT, other]
+
+    def test_ids_matching_runs_predicate_per_account(self):
+        store = ColumnarTransferStore.from_transfers(
+            {NFT: [make_transfer("A", "B", 1), make_transfer("B", "A", 2)]}
+        )
+        matched = store.ids_matching(lambda address: address == "A")
+        assert store.addresses_of(matched) == {"A"}
+
+    def test_touched_by(self):
+        store = ColumnarTransferStore.from_transfers({NFT: [make_transfer("A", "B", 1)]})
+        columns = store.tokens[NFT]
+        assert columns.touched_by(frozenset({store.account_id("A")}))
+        assert not columns.touched_by(frozenset({999}))
+        assert not columns.touched_by(frozenset())
+
+
+class TestTokenComponents:
+    def build(self, transfers):
+        store = ColumnarTransferStore.from_transfers({NFT: transfers})
+        return store, store.tokens[NFT]
+
+    def test_round_trip_component(self):
+        store, columns = self.build(
+            [make_transfer("A", "B", 1, price=1), make_transfer("B", "A", 2, price=1)]
+        )
+        components = token_components(columns, frozenset())
+        assert len(components) == 1
+        assert store.addresses_of(components[0].member_ids) == {"A", "B"}
+        assert components[0].rows == (0, 1)
+
+    def test_chain_yields_nothing(self):
+        _, columns = self.build([make_transfer("A", "B", 1), make_transfer("B", "C", 2)])
+        assert token_components(columns, frozenset()) == []
+
+    def test_self_loop_singleton_kept(self):
+        store, columns = self.build([make_transfer("A", "A", 1)])
+        components = token_components(columns, frozenset())
+        assert len(components) == 1
+        assert store.addresses_of(components[0].member_ids) == {"A"}
+
+    def test_exclusion_mask_breaks_cycle(self):
+        store, columns = self.build(
+            [
+                make_transfer("A", "X", 1),
+                make_transfer("X", "A", 2),
+            ]
+        )
+        assert len(token_components(columns, frozenset())) == 1
+        masked = token_components(columns, frozenset({store.account_id("X")}))
+        assert masked == []
+
+    def test_mask_only_affects_touching_rows(self):
+        store, columns = self.build(
+            [
+                make_transfer("A", "B", 1),
+                make_transfer("B", "A", 2),
+                make_transfer("A", "X", 3),
+            ]
+        )
+        masked = token_components(columns, frozenset({store.account_id("X")}))
+        assert len(masked) == 1
+        assert store.addresses_of(masked[0].member_ids) == {"A", "B"}
+
+
+class TestSharding:
+    def test_partition_preserves_order_and_covers_all(self):
+        keys = [NFTKey(contract="0x" + "f" * 40, token_id=i) for i in range(10)]
+        shards = partition_tokens(keys, 3)
+        assert [key for shard in shards for key in shard] == keys
+        assert len(shards) == 3
+        assert max(len(s) for s in shards) - min(len(s) for s in shards) <= 1
+
+    def test_partition_clamps_shard_count(self):
+        keys = [NFTKey(contract="0x" + "f" * 40, token_id=i) for i in range(2)]
+        assert len(partition_tokens(keys, 16)) == 2
+        assert partition_tokens([], 4) == []
+        assert len(partition_tokens(keys, 0)) == 1
+
+    def test_account_set_predicate_pickles(self):
+        predicate = AccountSetPredicate({"A", "B"})
+        clone = pickle.loads(pickle.dumps(predicate))
+        assert clone("A") and not clone("Z")
+
+    def test_broken_pool_warns_and_falls_back_to_serial(self, tiny_world, monkeypatch):
+        from repro.core.detectors.pipeline import WashTradingPipeline
+        from repro.engine import executor
+        from repro.ingest.dataset import build_dataset
+
+        class BrokenPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no processes for you")
+
+        monkeypatch.setattr(executor, "ProcessPoolExecutor", BrokenPool)
+        dataset = build_dataset(tiny_world.node, tiny_world.marketplace_addresses)
+        pipeline = WashTradingPipeline(
+            labels=tiny_world.labels,
+            is_contract=tiny_world.is_contract,
+            engine="columnar",
+            workers=4,
+        )
+        with pytest.warns(RuntimeWarning, match="falling back to serial"):
+            result = pipeline.run(dataset)
+        serial = WashTradingPipeline(
+            labels=tiny_world.labels,
+            is_contract=tiny_world.is_contract,
+            engine="columnar",
+        ).run(dataset)
+        assert result.activity_count == serial.activity_count
+        assert result.refinement.stages == serial.refinement.stages
+
+
+class TestDatasetIntegration:
+    def test_columnar_store_cached_on_dataset(self, tiny_world):
+        from repro.ingest.dataset import build_dataset
+
+        dataset = build_dataset(tiny_world.node, tiny_world.marketplace_addresses)
+        store = dataset.columnar_store()
+        assert store is dataset.columnar_store()
+        assert store.transfer_count == dataset.transfer_count
+        assert store.token_count == dataset.nft_count
