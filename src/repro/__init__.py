@@ -16,6 +16,9 @@ The package is organised in layers:
 * :mod:`repro.core` -- the paper's contribution: per-NFT transaction
   graphs, SCC candidate search, refinement, the five confirmation
   techniques, characterization and profitability analysis (Sec. IV-VII).
+* :mod:`repro.stream` -- the streaming monitor subsystem: incremental
+  ingest following the chain head, dirty-token re-detection and a
+  subscriber-facing alerting service (Sec. IX as a live watchdog).
 * :mod:`repro.simulation` -- a seeded synthetic workload generator that
   plants ground-truth wash trading in a full synthetic world.
 * :mod:`repro.analysis` -- regenerates every table and figure of the
@@ -27,8 +30,9 @@ from repro.simulation import SimulationConfig, WorldBuilder, build_default_world
 from repro.ingest import build_dataset
 from repro.core import WashTradingPipeline, PipelineResult
 from repro.analysis import PaperReport
+from repro.stream import DatasetCursor, StreamingMonitor
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "Chain",
@@ -40,5 +44,7 @@ __all__ = [
     "WashTradingPipeline",
     "PipelineResult",
     "PaperReport",
+    "DatasetCursor",
+    "StreamingMonitor",
     "__version__",
 ]

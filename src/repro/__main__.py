@@ -1,8 +1,15 @@
 """Command-line entry point: ``python -m repro``.
 
-Builds a synthetic world, runs the full wash trading pipeline and prints
-the reproduction report (every table and figure of the paper's
-evaluation).  Useful as a one-command smoke test of the whole system.
+Two subcommands share the synthetic-world presets:
+
+* ``run`` (the default) builds a world, runs the full batch pipeline and
+  prints the reproduction report -- every table and figure of the
+  paper's evaluation.  For back-compat the subcommand may be omitted:
+  ``python -m repro --preset small`` behaves exactly as before.
+* ``monitor`` follows the same world's chain block-by-block through the
+  streaming monitor subsystem (:mod:`repro.stream`), printing alerts as
+  NFTs are flagged and a per-tick summary -- the paper's Sec. IX
+  marketplace watchdog as a command.
 """
 
 from __future__ import annotations
@@ -23,16 +30,12 @@ PRESETS = {
     "default": SimulationConfig,
 }
 
+#: Recognized subcommands; a bare flag list falls through to ``run``.
+COMMANDS = ("run", "monitor")
 
-def build_parser() -> argparse.ArgumentParser:
-    """The command-line interface definition."""
-    parser = argparse.ArgumentParser(
-        prog="repro",
-        description=(
-            "Reproduce 'A Game of NFTs: Characterizing NFT Wash Trading in the "
-            "Ethereum Blockchain' on a synthetic world."
-        ),
-    )
+
+def _add_world_arguments(parser: argparse.ArgumentParser) -> None:
+    """The world-selection flags shared by both subcommands."""
     parser.add_argument(
         "--preset",
         choices=sorted(PRESETS),
@@ -42,11 +45,28 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--seed", type=int, default=None, help="override the world's random seed"
     )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``run`` (batch reproduction) command-line interface."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduce 'A Game of NFTs: Characterizing NFT Wash Trading in the "
+            "Ethereum Blockchain' on a synthetic world."
+        ),
+    )
+    _add_world_arguments(parser)
     parser.add_argument(
         "--output", type=str, default=None, help="also write the report to this file"
     )
     parser.add_argument(
-        "--quiet", action="store_true", help="print only the summary line"
+        "--quiet",
+        action="store_true",
+        help=(
+            "print only the summary line; combined with --output, suppress "
+            "terminal output entirely (only the file copy is written)"
+        ),
     )
     parser.add_argument(
         "--engine",
@@ -70,8 +90,39 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    """Run the reproduction and return a process exit code."""
+def build_monitor_parser() -> argparse.ArgumentParser:
+    """The ``monitor`` (streaming watchdog) command-line interface."""
+    parser = argparse.ArgumentParser(
+        prog="repro monitor",
+        description=(
+            "Follow a synthetic world's chain through the streaming monitor, "
+            "printing wash trading alerts as blocks arrive (Sec. IX)."
+        ),
+    )
+    _add_world_arguments(parser)
+    parser.add_argument(
+        "--step-blocks",
+        type=int,
+        default=25,
+        help="blocks ingested per monitor tick (default: 25)",
+    )
+    parser.add_argument(
+        "--watch",
+        action="append",
+        default=[],
+        metavar="ACCOUNT",
+        help="watchlist an account address (repeatable)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="print only the final summary line, not the alert stream",
+    )
+    return parser
+
+
+def run_batch(argv: Sequence[str]) -> int:
+    """The batch reproduction (the historical flat CLI)."""
     args = build_parser().parse_args(argv)
     config = PRESETS[args.preset]()
     if args.seed is not None:
@@ -88,6 +139,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
+        if args.quiet:
+            # Quiet + output means "just the file, please": skip the
+            # trailing summary as well.
+            return 0
 
     result = report.result
     score = world.ground_truth.match_against(result.washed_nfts())
@@ -97,6 +152,65 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         f"recall {score.recall:.1%} on planted ground truth, {elapsed:.1f}s"
     )
     return 0
+
+
+def run_monitor(argv: Sequence[str]) -> int:
+    """The streaming watchdog subcommand."""
+    from repro.stream import AlertKind, StreamingMonitor
+
+    args = build_monitor_parser().parse_args(argv)
+    config = PRESETS[args.preset]()
+    if args.seed is not None:
+        config.seed = args.seed
+
+    world = build_default_world(config)
+    monitor = StreamingMonitor.for_world(world, watchlist=args.watch)
+
+    if not args.quiet:
+
+        @monitor.subscribe
+        def _print_alert(alert) -> None:
+            if alert.kind is AlertKind.NFT_FLAGGED:
+                print(
+                    f"  [block {alert.block:>6}] FLAGGED {alert.nft.contract}#"
+                    f"{alert.nft.token_id} ({len(alert.accounts)} accounts, "
+                    f"latency {alert.latency_blocks} blocks)"
+                )
+            elif alert.kind is AlertKind.WATCHLIST_HIT:
+                print(
+                    f"  [block {alert.block:>6}] WATCHLIST "
+                    f"{', '.join(sorted(alert.watched_accounts))} on "
+                    f"{alert.nft.contract}#{alert.nft.token_id}"
+                )
+
+    started = time.time()
+    snapshots = monitor.run(step_blocks=args.step_blocks)
+    elapsed = time.time() - started
+
+    result = monitor.result()
+    score = world.ground_truth.match_against(result.washed_nfts())
+    blocks = monitor.processed_block + 1
+    rate = blocks / elapsed if elapsed > 0 else float("inf")
+    print(
+        f"\n[{args.preset}/monitor] {blocks} blocks in {len(snapshots)} ticks "
+        f"({rate:,.0f} blocks/s), {result.activity_count} confirmed activities, "
+        f"{len(monitor.flagged_nfts)} flagged NFTs, "
+        f"{sum(1 for a in monitor.alerts if a.kind is AlertKind.WATCHLIST_HIT)} "
+        f"watchlist hits, recall {score.recall:.1%} on planted ground truth, "
+        f"{elapsed:.1f}s"
+    )
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Dispatch to a subcommand; bare flags run the batch reproduction."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    command = "run"
+    if argv and argv[0] in COMMANDS:
+        command, argv = argv[0], argv[1:]
+    if command == "monitor":
+        return run_monitor(argv)
+    return run_batch(argv)
 
 
 if __name__ == "__main__":

@@ -17,6 +17,26 @@ from typing import Dict, Iterable, List, Set
 from repro.chain.transaction import Transaction
 
 
+def transaction_parties(tx: Transaction) -> Set[str]:
+    """The accounts involved in a transaction, per the indexing rule.
+
+    Shared by the chain's own :class:`AccountIndex` and the streaming
+    ingest cursor, which attributes freshly mined transactions to the
+    accounts it already follows -- both must agree on "involved".
+    """
+    parties: Set[str] = {tx.sender}
+    if tx.to:
+        parties.add(tx.to)
+    for transfer in tx.value_transfers:
+        parties.add(transfer.sender)
+        parties.add(transfer.recipient)
+    for log in tx.logs:
+        if log.is_erc20_transfer or log.is_erc721_transfer:
+            parties.add(log.topics[1])
+            parties.add(log.topics[2])
+    return parties
+
+
 class AccountIndex:
     """Maps account addresses to the transactions that involve them."""
 
@@ -26,24 +46,10 @@ class AccountIndex:
 
     def record(self, tx: Transaction) -> None:
         """Index one freshly executed transaction."""
-        for address in self._parties_of(tx):
+        for address in transaction_parties(tx):
             if tx.hash not in self._seen[address]:
                 self._seen[address].add(tx.hash)
                 self._by_account[address].append(tx)
-
-    @staticmethod
-    def _parties_of(tx: Transaction) -> Set[str]:
-        parties: Set[str] = {tx.sender}
-        if tx.to:
-            parties.add(tx.to)
-        for transfer in tx.value_transfers:
-            parties.add(transfer.sender)
-            parties.add(transfer.recipient)
-        for log in tx.logs:
-            if log.is_erc20_transfer or log.is_erc721_transfer:
-                parties.add(log.topics[1])
-                parties.add(log.topics[2])
-        return parties
 
     def transactions_of(self, address: str) -> List[Transaction]:
         """All transactions involving ``address``, in chain order."""

@@ -14,10 +14,15 @@ from __future__ import annotations
 
 from array import array
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
 
 from repro.chain.types import NFTKey
 from repro.ingest.records import NFTTransfer
+
+
+def _row_sort_key(transfer: NFTTransfer) -> Tuple[int, int, str]:
+    """The row order shared by batch construction and streaming appends."""
+    return (transfer.timestamp, transfer.block_number, transfer.tx_hash)
 
 
 @dataclass
@@ -83,12 +88,7 @@ class ColumnarTransferStore:
 
     def add_token(self, nft: NFTKey, transfers: Sequence[NFTTransfer]) -> TokenColumns:
         """Intern and columnarize the transfers of one NFT."""
-        ordered = tuple(
-            sorted(
-                transfers,
-                key=lambda item: (item.timestamp, item.block_number, item.tx_hash),
-            )
-        )
+        ordered = tuple(sorted(transfers, key=_row_sort_key))
         timestamps = array("q")
         senders = array("q")
         recipients = array("q")
@@ -130,6 +130,61 @@ class ColumnarTransferStore:
     def from_dataset(cls, dataset) -> "ColumnarTransferStore":
         """Build a store from an :class:`~repro.ingest.dataset.NFTDataset`."""
         return cls.from_transfers(dataset.transfers_by_nft)
+
+    # -- incremental growth ------------------------------------------------
+    def append_token_transfers(
+        self, nft: NFTKey, transfers: Sequence[NFTTransfer]
+    ) -> Optional[TokenColumns]:
+        """Append new transfers to one token, keeping row order intact.
+
+        This is the streaming ingest path: when the new rows all sort
+        after the token's current tail (the common case -- blocks arrive
+        in order), the columns are extended in place; otherwise the token
+        is re-columnarized from scratch, so the result is always
+        identical to an :meth:`add_token` over the union.  An empty
+        chunk never creates a token (None for an unknown ``nft``).
+        """
+        if not transfers:
+            return self.tokens.get(nft)
+        columns = self.tokens.get(nft)
+        if columns is None:
+            return self.add_token(nft, transfers)
+
+        ordered = sorted(transfers, key=_row_sort_key)
+        if columns.transfers and _row_sort_key(ordered[0]) < _row_sort_key(
+            columns.transfers[-1]
+        ):
+            # Out-of-order arrival: rebuild the token's columns wholesale.
+            return self.add_token(nft, tuple(columns.transfers) + tuple(ordered))
+
+        new_flags = bytearray(len(ordered))
+        new_ids: set[int] = set()
+        for row, transfer in enumerate(ordered):
+            sender_id = self.intern(transfer.sender)
+            recipient_id = self.intern(transfer.recipient)
+            columns.timestamps.append(transfer.timestamp)
+            columns.senders.append(sender_id)
+            columns.recipients.append(recipient_id)
+            if transfer.has_payment:
+                new_flags[row] = 1
+            new_ids.add(sender_id)
+            new_ids.add(recipient_id)
+        columns.transfers = columns.transfers + tuple(ordered)
+        columns.payment_flags = columns.payment_flags + bytes(new_flags)
+        columns.account_ids = columns.account_ids | new_ids
+        return columns
+
+    def extend(
+        self, transfers_by_nft: Mapping[NFTKey, Sequence[NFTTransfer]]
+    ) -> List[NFTKey]:
+        """Append a batch of per-NFT transfers; returns the touched tokens."""
+        touched: List[NFTKey] = []
+        for nft, transfers in transfers_by_nft.items():
+            if not transfers:
+                continue
+            self.append_token_transfers(nft, transfers)
+            touched.append(nft)
+        return touched
 
     # -- queries -----------------------------------------------------------
     @property

@@ -149,6 +149,40 @@ class NFTDataset:
         )
 
 
+def transfer_from_log(tx, log, venue_by_address: Mapping[str, str]) -> NFTTransfer:
+    """Enrich one ERC-721 Transfer log with its transaction context.
+
+    Shared by the batch :func:`build_dataset` and the streaming
+    :class:`~repro.stream.cursor.DatasetCursor` so both produce
+    identical :class:`NFTTransfer` records for the same log.
+    """
+    sender, recipient, token_id = decode_transfer_log(log)
+    erc20_payments = tuple(
+        ERC20Payment(
+            token=other.address,
+            sender=other.topics[1],
+            recipient=other.topics[2],
+            amount=int(other.data.get("value", 0)),
+        )
+        for other in tx.logs
+        if other.is_erc20_transfer
+    )
+    return NFTTransfer(
+        nft=NFTKey(contract=log.address, token_id=token_id),
+        sender=sender,
+        recipient=recipient,
+        tx_hash=tx.hash,
+        block_number=tx.block_number,
+        timestamp=tx.timestamp,
+        price_wei=tx.value_wei,
+        gas_fee_wei=tx.fee_wei,
+        interacted_contract=tx.interacted_contract,
+        marketplace=venue_by_address.get(tx.to) if tx.to else None,
+        tx_sender=tx.sender,
+        erc20_payments=erc20_payments,
+    )
+
+
 def build_dataset(
     node: EthereumNode,
     marketplace_addresses: Mapping[str, str],
@@ -171,31 +205,7 @@ def build_dataset(
     for tx, log in scan.matches:
         if enforce_compliance and not compliance.is_compliant(log.address):
             continue
-        sender, recipient, token_id = decode_transfer_log(log)
-        erc20_payments = tuple(
-            ERC20Payment(
-                token=other.address,
-                sender=other.topics[1],
-                recipient=other.topics[2],
-                amount=int(other.data.get("value", 0)),
-            )
-            for other in tx.logs
-            if other.is_erc20_transfer
-        )
-        transfer = NFTTransfer(
-            nft=NFTKey(contract=log.address, token_id=token_id),
-            sender=sender,
-            recipient=recipient,
-            tx_hash=tx.hash,
-            block_number=tx.block_number,
-            timestamp=tx.timestamp,
-            price_wei=tx.value_wei,
-            gas_fee_wei=tx.fee_wei,
-            interacted_contract=tx.interacted_contract,
-            marketplace=venue_by_address.get(tx.to) if tx.to else None,
-            tx_sender=tx.sender,
-            erc20_payments=erc20_payments,
-        )
+        transfer = transfer_from_log(tx, log, venue_by_address)
         transfers_by_nft[transfer.nft].append(transfer)
 
     for transfers in transfers_by_nft.values():

@@ -1,0 +1,34 @@
+"""Streaming monitor subsystem (paper Sec. IX as a live service).
+
+The batch pipeline answers "how much wash trading happened?" after the
+fact; this package answers it *while it happens*.  Three pieces:
+
+* :mod:`repro.stream.cursor` -- :class:`DatasetCursor`, incremental
+  Sec. III ingest that follows the chain head block-by-block and appends
+  into a mutable columnar store.
+* :mod:`repro.stream.scheduler` -- :class:`DirtyTokenScheduler`,
+  re-refines and re-detects only the tokens each tick touched while
+  keeping the cross-token repeated-SCC state incrementally correct.
+* :mod:`repro.stream.monitor` -- :class:`StreamingMonitor`, the service
+  facade: subscriber callbacks, typed :class:`Alert` events and per-tick
+  :class:`MonitorSnapshot` statistics.
+
+Feeding a whole chain through the monitor yields exactly the batch
+pipeline's result (``tests/stream`` pins the parity).
+"""
+
+from repro.stream.alerts import Alert, AlertKind, MonitorSnapshot
+from repro.stream.cursor import CursorTick, DatasetCursor
+from repro.stream.monitor import StreamingMonitor
+from repro.stream.scheduler import DirtyTokenScheduler, TickReport
+
+__all__ = [
+    "Alert",
+    "AlertKind",
+    "CursorTick",
+    "DatasetCursor",
+    "DirtyTokenScheduler",
+    "MonitorSnapshot",
+    "StreamingMonitor",
+    "TickReport",
+]

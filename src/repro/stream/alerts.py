@@ -1,0 +1,95 @@
+"""Typed events emitted by the streaming monitor.
+
+Every tick the monitor compares its detection state before and after the
+new blocks and publishes the difference as :class:`Alert` objects --
+the marketplace-facing surface of Sec. IX ("can marketplaces prevent
+wash trading activities?"): a venue subscribing to these events can warn
+buyers on the NFT page, or withhold reward tokens, the moment an
+activity is confirmed instead of in a post-hoc study.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import FrozenSet, Optional, Tuple
+
+from repro.chain.types import NFTKey
+from repro.core.activity import WashTradingActivity
+
+
+class AlertKind(str, enum.Enum):
+    """The three event types the monitor publishes."""
+
+    #: A wash trading activity was confirmed for the first time.
+    ACTIVITY_CONFIRMED = "activity-confirmed"
+    #: An NFT gained its first confirmed activity (page-level warning).
+    NFT_FLAGGED = "nft-flagged"
+    #: A newly confirmed activity involves a watchlisted account.
+    WATCHLIST_HIT = "watchlist-hit"
+
+
+@dataclass(frozen=True)
+class Alert:
+    """One monitor event, tied to the chain position that triggered it."""
+
+    kind: AlertKind
+    #: Head block of the tick that raised the alert.
+    block: int
+    #: Timestamp of that head block (0 when the chain has no blocks yet).
+    timestamp: int
+    nft: NFTKey
+    #: The confirming activity (ACTIVITY_CONFIRMED and WATCHLIST_HIT carry
+    #: the activity that fired; NFT_FLAGGED carries the first activity).
+    activity: WashTradingActivity
+    #: Watchlisted accounts involved (only set for WATCHLIST_HIT).
+    watched_accounts: FrozenSet[str] = frozenset()
+
+    @property
+    def accounts(self) -> FrozenSet[str]:
+        """The colluding accounts behind the alert."""
+        return self.activity.accounts
+
+    @property
+    def latency_blocks(self) -> int:
+        """Blocks between the last wash trade and the alert being raised.
+
+        The venue-side detection lag: 0 means the activity was flagged in
+        the very block that completed it.
+        """
+        last_trade_block = max(
+            transfer.block_number for transfer in self.activity.component.transfers
+        )
+        return self.block - last_trade_block
+
+
+@dataclass(frozen=True)
+class MonitorSnapshot:
+    """Per-tick statistics of the monitor's state."""
+
+    #: Monotone tick counter (first processed tick is 1).
+    tick: int
+    #: Inclusive block range this tick ingested (from > to for empty ticks).
+    from_block: int
+    to_block: int
+    #: ERC-721 transfer events appended this tick.
+    new_transfer_count: int
+    #: Tokens receiving new transfers this tick.
+    touched_token_count: int
+    #: Tokens re-refined this tick (touched + account-activity dirty).
+    dirty_token_count: int
+    #: Confirmed activities gained / lost this tick.
+    newly_confirmed_count: int
+    retracted_count: int
+    #: Totals after the tick.
+    total_transfer_count: int
+    total_token_count: int
+    confirmed_activity_count: int
+    flagged_nft_count: int
+    #: Alerts raised this tick.
+    alerts: Tuple[Alert, ...] = field(default_factory=tuple)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the tick ingested no new blocks or transfers."""
+        return self.new_transfer_count == 0 and self.dirty_token_count == 0

@@ -1,0 +1,248 @@
+"""Incremental dataset construction: following the chain head.
+
+:func:`~repro.ingest.dataset.build_dataset` materializes the whole
+Sec. III dataset in one pass.  :class:`DatasetCursor` produces the same
+state *incrementally*: each :meth:`advance` scans only the blocks mined
+since the previous call, appends the new transfers to a mutable
+:class:`~repro.engine.store.ColumnarTransferStore`, keeps the per-account
+transaction lists up to date, and reports which tokens and accounts were
+touched -- the input of the dirty-token scheduler.
+
+Invariant: after advancing to block ``B``, the cursor's transfers, store
+and account transactions are exactly what ``build_dataset(node,
+to_block=B)`` would produce (the stream/batch parity tests pin this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Mapping, Optional, Set, Tuple
+
+from repro.chain.index import transaction_parties
+from repro.chain.node import EthereumNode
+from repro.chain.transaction import Transaction
+from repro.chain.types import NFTKey, NULL_ADDRESS
+from repro.engine.store import ColumnarTransferStore
+from repro.ingest.compliance import ComplianceReport, check_erc721_compliance
+from repro.ingest.dataset import NFTDataset, transfer_from_log
+from repro.ingest.marketplace_attribution import build_reverse_index
+from repro.ingest.records import NFTTransfer
+from repro.ingest.transfer_scan import TransferScanResult, scan_erc721_transfer_logs
+
+
+@dataclass(frozen=True)
+class CursorTick:
+    """What one :meth:`DatasetCursor.advance` call ingested."""
+
+    #: Inclusive block range scanned (``from_block > to_block`` when the
+    #: tick was a no-op: nothing new, or a request behind the cursor).
+    from_block: int
+    to_block: int
+    #: ERC-721-shaped events seen, before the compliance filter.
+    event_count: int = 0
+    #: Transfers retained after the compliance filter.
+    new_transfer_count: int = 0
+    #: Tokens that received new transfers, in first-touch (scan) order.
+    touched_nfts: Tuple[NFTKey, ...] = ()
+    #: Accounts whose collected transaction list changed this tick.
+    touched_accounts: FrozenSet[str] = frozenset()
+    #: Accounts that became involved (first transfer endpoint) this tick.
+    new_account_count: int = 0
+
+    @property
+    def is_noop(self) -> bool:
+        """True when the tick scanned no blocks at all."""
+        return self.to_block < self.from_block
+
+
+class DatasetCursor:
+    """Appends freshly mined blocks to a growing dataset.
+
+    The cursor owns the mutable counterparts of everything
+    ``build_dataset`` returns: ``transfers_by_nft``, the compliance
+    report, the accumulated scan result, ``account_transactions`` and the
+    columnar ``store`` the detection engine reads.  Requests to advance
+    to a block at or behind the cursor are no-ops, so feeding the same
+    head twice (an empty tick) or a stale/out-of-order target is safe.
+    """
+
+    def __init__(
+        self,
+        node: EthereumNode,
+        marketplace_addresses: Mapping[str, str],
+        enforce_compliance: bool = True,
+        start_block: int = 0,
+    ) -> None:
+        self.node = node
+        self.marketplace_addresses = dict(marketplace_addresses)
+        self.enforce_compliance = enforce_compliance
+        self._venue_by_address = build_reverse_index(marketplace_addresses)
+        #: Next block to ingest; everything below has been processed.
+        self.next_block = max(start_block, 0)
+        self.transfers_by_nft: Dict[NFTKey, List[NFTTransfer]] = {}
+        self.account_transactions: Dict[str, List[Transaction]] = {}
+        self.compliance = ComplianceReport()
+        self.scan = TransferScanResult()
+        self.store = ColumnarTransferStore()
+        self._probed_contracts: Set[str] = set()
+        #: Involved account -> tokens it appears in (dirty propagation).
+        self._tokens_by_account: Dict[str, Set[NFTKey]] = {}
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def processed_block(self) -> int:
+        """Highest block already ingested (-1 before the first tick)."""
+        return self.next_block - 1
+
+    @property
+    def transfer_count(self) -> int:
+        """Transfers retained so far."""
+        return sum(len(transfers) for transfers in self.transfers_by_nft.values())
+
+    def tokens_touching(self, accounts: Iterable[str]) -> Set[NFTKey]:
+        """Every known token one of ``accounts`` ever appeared in."""
+        touching: Set[NFTKey] = set()
+        for account in accounts:
+            touching |= self._tokens_by_account.get(account, set())
+        return touching
+
+    def as_dataset(self) -> NFTDataset:
+        """A live :class:`NFTDataset` view over the cursor's state.
+
+        The view shares the cursor's dictionaries (it grows with further
+        ticks) and carries the already-built columnar store, so batch
+        consumers -- tables, figures, a one-off ``WashTradingPipeline``
+        run -- work on streamed data without any copying.
+        """
+        dataset = NFTDataset(
+            transfers_by_nft=self.transfers_by_nft,
+            compliance=self.compliance,
+            scan=self.scan,
+            account_transactions=self.account_transactions,
+            marketplace_addresses=dict(self.marketplace_addresses),
+        )
+        dataset._columnar_store = self.store
+        return dataset
+
+    # -- ingest ------------------------------------------------------------
+    def advance(self, to_block: Optional[int] = None) -> CursorTick:
+        """Ingest every block up to ``to_block`` (default: current head)."""
+        head = self.node.block_number
+        stop = head if to_block is None else min(to_block, head)
+        from_block = self.next_block
+        if stop < from_block:
+            return CursorTick(from_block=from_block, to_block=from_block - 1)
+
+        tick_scan = scan_erc721_transfer_logs(
+            self.node, from_block=from_block, to_block=stop
+        )
+        self.scan.matches.extend(tick_scan.matches)
+        self.scan.emitting_contracts |= tick_scan.emitting_contracts
+        self._probe_new_contracts(tick_scan.emitting_contracts)
+
+        new_by_nft: Dict[NFTKey, List[NFTTransfer]] = {}
+        for tx, log in tick_scan.matches:
+            if self.enforce_compliance and not self.compliance.is_compliant(
+                log.address
+            ):
+                continue
+            transfer = transfer_from_log(tx, log, self._venue_by_address)
+            new_by_nft.setdefault(transfer.nft, []).append(transfer)
+
+        new_accounts = self._new_involved_accounts(new_by_nft)
+        appended = self._append_block_transactions(from_block, stop, new_accounts)
+        self._collect_new_account_histories(new_accounts, stop)
+
+        new_transfer_count = 0
+        for nft, chunk in new_by_nft.items():
+            chunk.sort(key=lambda item: (item.block_number, item.tx_hash))
+            self.transfers_by_nft.setdefault(nft, []).extend(chunk)
+            self.store.append_token_transfers(nft, chunk)
+            new_transfer_count += len(chunk)
+            for transfer in chunk:
+                for endpoint in (transfer.sender, transfer.recipient):
+                    self._tokens_by_account.setdefault(endpoint, set()).add(nft)
+
+        # Committed only once the whole tick ingested cleanly: a raise
+        # above leaves the cursor retryable instead of silently skipping
+        # the blocks of a half-processed tick.
+        self.next_block = stop + 1
+        return CursorTick(
+            from_block=from_block,
+            to_block=stop,
+            event_count=tick_scan.event_count,
+            new_transfer_count=new_transfer_count,
+            touched_nfts=tuple(new_by_nft),
+            touched_accounts=frozenset(appended) | frozenset(new_accounts),
+            new_account_count=len(new_accounts),
+        )
+
+    # -- internals ---------------------------------------------------------
+    def _probe_new_contracts(self, emitting: Set[str]) -> None:
+        """ERC-165-probe contracts seen for the first time this tick."""
+        unseen = sorted(emitting - self._probed_contracts)
+        if not unseen:
+            return
+        probe = check_erc721_compliance(self.node, unseen)
+        self.compliance.compliant |= probe.compliant
+        self.compliance.non_compliant |= probe.non_compliant
+        self._probed_contracts.update(unseen)
+
+    def _new_involved_accounts(
+        self, new_by_nft: Dict[NFTKey, List[NFTTransfer]]
+    ) -> List[str]:
+        """Endpoints of the tick's transfers not yet followed, scan order."""
+        new_accounts: List[str] = []
+        seen: Set[str] = set()
+        for chunk in new_by_nft.values():
+            for transfer in chunk:
+                for endpoint in (transfer.sender, transfer.recipient):
+                    if (
+                        endpoint != NULL_ADDRESS
+                        and endpoint not in seen
+                        and endpoint not in self.account_transactions
+                    ):
+                        seen.add(endpoint)
+                        new_accounts.append(endpoint)
+        return new_accounts
+
+    def _append_block_transactions(
+        self, from_block: int, to_block: int, new_accounts: List[str]
+    ) -> List[str]:
+        """Attribute the tick's transactions to already-followed accounts.
+
+        Accounts becoming involved this very tick are skipped -- their
+        full (clamped) history is fetched separately and already covers
+        these blocks.  Returns the accounts whose lists grew.
+        """
+        skip = set(new_accounts)
+        pending: Dict[str, List[Transaction]] = {}
+        for block in self.node.iter_blocks(from_block, to_block):
+            for tx in block.transactions:
+                for party in transaction_parties(tx):
+                    if party in skip or party not in self.account_transactions:
+                        continue
+                    pending.setdefault(party, []).append(tx)
+        for account, transactions in pending.items():
+            transactions.sort(key=lambda tx: (tx.block_number, tx.hash))
+            self.account_transactions[account].extend(transactions)
+        return list(pending)
+
+    def _collect_new_account_histories(
+        self, new_accounts: List[str], to_block: int
+    ) -> None:
+        """Fetch the full history of newly involved accounts, clamped.
+
+        The clamp to ``to_block`` is what makes intermediate cursor
+        states equal to a batch build over the same prefix: the node
+        holds the whole simulated chain, but a monitor following the
+        head must not see transactions from blocks it has not reached.
+        """
+        for account in new_accounts:
+            transactions = [
+                tx
+                for tx in self.node.get_transactions_of(account)
+                if tx.block_number <= to_block
+            ]
+            transactions.sort(key=lambda tx: (tx.block_number, tx.hash))
+            self.account_transactions[account] = transactions

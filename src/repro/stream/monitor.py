@@ -1,0 +1,212 @@
+"""The streaming monitor service: a live wash trading watchdog.
+
+:class:`StreamingMonitor` glues the incremental ingest cursor to the
+dirty-token scheduler and exposes the result as a service: callers (or a
+driving loop) feed it chain positions via :meth:`advance`, subscribers
+receive typed :class:`~repro.stream.alerts.Alert` events the moment an
+activity is confirmed, and every tick yields a
+:class:`~repro.stream.alerts.MonitorSnapshot` with the monitor's
+up-to-date statistics.  After following the whole chain,
+:meth:`result` returns the exact :class:`PipelineResult` a batch
+``WashTradingPipeline(engine="columnar")`` run would have produced.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Mapping, Optional, Set
+
+from repro.chain.node import EthereumNode
+from repro.core.activity import DetectionMethod
+from repro.core.detectors.base import DetectionConfig, DetectionContext
+from repro.core.detectors.pipeline import PipelineResult
+from repro.engine.executor import TransactionView
+from repro.stream.alerts import Alert, AlertKind, MonitorSnapshot
+from repro.stream.cursor import DatasetCursor
+from repro.stream.scheduler import DirtyTokenScheduler
+
+AlertCallback = Callable[[Alert], None]
+SnapshotCallback = Callable[[MonitorSnapshot], None]
+
+
+class StreamingMonitor:
+    """Follows the chain head and keeps detection continuously current."""
+
+    def __init__(
+        self,
+        node: EthereumNode,
+        marketplace_addresses: Mapping[str, str],
+        labels,
+        is_contract: Callable[[str], bool],
+        config: Optional[DetectionConfig] = None,
+        enabled_methods: Optional[Iterable[DetectionMethod]] = None,
+        watchlist: Optional[Iterable[str]] = None,
+        enforce_compliance: bool = True,
+        start_block: int = 0,
+    ) -> None:
+        self.node = node
+        self.cursor = DatasetCursor(
+            node,
+            marketplace_addresses,
+            enforce_compliance=enforce_compliance,
+            start_block=start_block,
+        )
+        self.scheduler = DirtyTokenScheduler(
+            self.cursor.store,
+            labels=labels,
+            is_contract=is_contract,
+            config=config,
+            enabled_methods=enabled_methods,
+        )
+        #: The detectors read the cursor's live account-transaction dict.
+        self.context = DetectionContext(
+            dataset=TransactionView(self.cursor.account_transactions),
+            labels=labels,
+            is_contract=is_contract,
+            config=config,
+        )
+        self.watchlist: Set[str] = set(watchlist or ())
+        self.tick_count = 0
+        self.alerts: List[Alert] = []
+        self._alert_subscribers: List[AlertCallback] = []
+        self._snapshot_subscribers: List[SnapshotCallback] = []
+
+    @classmethod
+    def for_world(cls, world, **kwargs) -> "StreamingMonitor":
+        """Convenience constructor over a simulated world's handles."""
+        return cls(
+            node=world.node,
+            marketplace_addresses=world.marketplace_addresses,
+            labels=world.labels,
+            is_contract=world.is_contract,
+            **kwargs,
+        )
+
+    # -- subscriptions -----------------------------------------------------
+    def subscribe(self, callback: AlertCallback) -> AlertCallback:
+        """Register an alert callback; returns it (decorator-friendly)."""
+        self._alert_subscribers.append(callback)
+        return callback
+
+    def subscribe_snapshots(self, callback: SnapshotCallback) -> SnapshotCallback:
+        """Register a per-tick snapshot callback."""
+        self._snapshot_subscribers.append(callback)
+        return callback
+
+    def watch(self, *accounts: str) -> None:
+        """Add accounts to the watchlist (takes effect next tick)."""
+        self.watchlist.update(accounts)
+
+    # -- state -------------------------------------------------------------
+    @property
+    def processed_block(self) -> int:
+        """Highest chain block the monitor has ingested (-1 initially)."""
+        return self.cursor.processed_block
+
+    @property
+    def flagged_nfts(self):
+        """NFTs currently carrying at least one confirmed activity."""
+        return self.scheduler.flagged_nfts
+
+    def result(self) -> PipelineResult:
+        """The batch-identical pipeline result as of the processed block."""
+        return self.scheduler.result()
+
+    # -- driving -----------------------------------------------------------
+    def advance(self, to_block: Optional[int] = None) -> MonitorSnapshot:
+        """Ingest blocks up to ``to_block`` (default: head) and re-detect."""
+        tick = self.cursor.advance(to_block)
+        dirty: List = list(tick.touched_nfts)
+        if tick.touched_accounts:
+            touched_set = set(tick.touched_nfts)
+            extra = self.cursor.tokens_touching(tick.touched_accounts) - touched_set
+            dirty.extend(sorted(extra, key=self.scheduler.order_of))
+        report = self.scheduler.process(dirty, self.context)
+
+        self.tick_count += 1
+        alerts = self._alerts_for(tick.to_block, report)
+        snapshot = MonitorSnapshot(
+            tick=self.tick_count,
+            from_block=tick.from_block,
+            to_block=tick.to_block,
+            new_transfer_count=tick.new_transfer_count,
+            touched_token_count=len(tick.touched_nfts),
+            dirty_token_count=report.dirty_token_count,
+            newly_confirmed_count=len(report.newly_confirmed),
+            retracted_count=report.retracted_count,
+            total_transfer_count=self.cursor.store.transfer_count,
+            total_token_count=self.cursor.store.token_count,
+            confirmed_activity_count=self.scheduler.confirmed_activity_count,
+            flagged_nft_count=self.scheduler.flagged_nft_count,
+            alerts=tuple(alerts),
+        )
+        self.alerts.extend(alerts)
+        for alert in alerts:
+            for callback in self._alert_subscribers:
+                callback(alert)
+        for callback in self._snapshot_subscribers:
+            callback(snapshot)
+        return snapshot
+
+    def run(
+        self, to_block: Optional[int] = None, step_blocks: int = 1
+    ) -> List[MonitorSnapshot]:
+        """Follow the chain from the cursor to ``to_block`` in fixed steps.
+
+        Replays history tick by tick -- the harness used by the examples,
+        the benchmark and the parity tests.  Returns every snapshot.
+        """
+        if step_blocks < 1:
+            raise ValueError("step_blocks must be >= 1")
+        # Clamp to the head: the cursor cannot advance past mined blocks,
+        # so an over-the-head target would otherwise loop on no-op ticks.
+        head = self.node.block_number
+        target = head if to_block is None else min(to_block, head)
+        snapshots: List[MonitorSnapshot] = []
+        while self.cursor.next_block <= target:
+            upper = min(self.cursor.next_block + step_blocks - 1, target)
+            snapshots.append(self.advance(upper))
+        return snapshots
+
+    # -- internals ---------------------------------------------------------
+    def _alerts_for(self, block: int, report) -> List[Alert]:
+        """Turn one tick's state diff into the published alert stream."""
+        if not report.newly_confirmed:
+            return []
+        timestamp = self.node.get_block(block).timestamp if block >= 0 else 0
+        newly_flagged = set(report.newly_flagged)
+        flag_raised: Set = set()
+        alerts: List[Alert] = []
+        for activity in report.newly_confirmed:
+            alerts.append(
+                Alert(
+                    kind=AlertKind.ACTIVITY_CONFIRMED,
+                    block=block,
+                    timestamp=timestamp,
+                    nft=activity.nft,
+                    activity=activity,
+                )
+            )
+            if activity.nft in newly_flagged and activity.nft not in flag_raised:
+                flag_raised.add(activity.nft)
+                alerts.append(
+                    Alert(
+                        kind=AlertKind.NFT_FLAGGED,
+                        block=block,
+                        timestamp=timestamp,
+                        nft=activity.nft,
+                        activity=activity,
+                    )
+                )
+            watched = frozenset(activity.accounts & self.watchlist)
+            if watched:
+                alerts.append(
+                    Alert(
+                        kind=AlertKind.WATCHLIST_HIT,
+                        block=block,
+                        timestamp=timestamp,
+                        nft=activity.nft,
+                        activity=activity,
+                        watched_accounts=watched,
+                    )
+                )
+        return alerts

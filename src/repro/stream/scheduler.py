@@ -1,0 +1,339 @@
+"""Dirty-token re-detection over a growing columnar store.
+
+The batch engine refines and confirms every token on every run.  The
+scheduler instead keeps one :class:`TokenState` per token (its funnel
+stage statistics, refined candidates and per-candidate detector
+evidence) and recomputes only the tokens a tick marked *dirty*: tokens
+with new transfers, plus tokens containing an account whose collected
+transaction list changed (the detectors read those lists, so their
+verdicts may move even without a new transfer of the token).
+
+The global repeated-SCC rule (Sec. IV-C v) is maintained incrementally:
+a multiset of base-confirmed account sets is updated as dirty tokens are
+reprocessed, and an inverted index from account set to the tokens
+holding an unconfirmed candidate with that set pinpoints exactly which
+other tokens flip when a set enters or leaves the confirmed pool.
+
+:meth:`DirtyTokenScheduler.result` assembles a
+:class:`~repro.core.detectors.pipeline.PipelineResult` that is
+*identical* -- same candidate order, same activities, same funnel
+statistics -- to a batch ``WashTradingPipeline(engine="columnar")`` run
+over the same data (pinned by ``tests/stream``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.chain.types import NFTKey
+from repro.core.activity import (
+    CandidateComponent,
+    DetectionEvidence,
+    DetectionMethod,
+    WashTradingActivity,
+)
+from repro.core.detectors.base import DetectionConfig, DetectionContext
+from repro.core.detectors.pipeline import PipelineResult, build_detectors
+from repro.core.refine import RefinementResult
+from repro.engine.refine import STAGE_NAMES, StageAccumulator, refine_tokens
+from repro.engine.store import ColumnarTransferStore
+
+#: Key identifying one confirmed activity across recomputations.
+ActivityKey = Tuple[Tuple[str, ...], Tuple[str, ...]]
+
+
+@dataclass
+class TokenState:
+    """Everything the scheduler remembers about one token."""
+
+    #: Per-token funnel statistics (mergeable shard accumulators).
+    stages: List[StageAccumulator]
+    #: Refined candidates, in engine order.
+    candidates: List[CandidateComponent]
+    #: Per-candidate detector evidence; an empty list = base-unconfirmed.
+    evidence: List[List[DetectionEvidence]]
+
+
+@dataclass
+class TickReport:
+    """Detection-state changes caused by one scheduler pass."""
+
+    #: Tokens actually reprocessed (dirty + repeated-SCC flips).
+    dirty_token_count: int = 0
+    #: Activities confirmed this tick, in deterministic token order.
+    newly_confirmed: List[WashTradingActivity] = field(default_factory=list)
+    #: NFTs that gained their first confirmed activity this tick.
+    newly_flagged: List[NFTKey] = field(default_factory=list)
+    #: Previously confirmed activities that no longer hold.
+    retracted_count: int = 0
+
+
+def _repeated_evidence(component: CandidateComponent) -> DetectionEvidence:
+    """The evidence record ``confirm_repeated_components`` would attach."""
+    return DetectionEvidence(
+        method=DetectionMethod.REPEATED_SCC,
+        details={"matched_accounts": sorted(component.accounts)},
+    )
+
+
+def _activity_key(component: CandidateComponent) -> ActivityKey:
+    return (
+        tuple(sorted(component.accounts)),
+        tuple(sorted(transfer.tx_hash for transfer in component.transfers)),
+    )
+
+
+class DirtyTokenScheduler:
+    """Incrementally maintained detection state over a live store."""
+
+    def __init__(
+        self,
+        store: ColumnarTransferStore,
+        labels,
+        is_contract: Callable[[str], bool],
+        config: Optional[DetectionConfig] = None,
+        enabled_methods: Optional[Iterable[DetectionMethod]] = None,
+        skip_service_removal: bool = False,
+        skip_contract_removal: bool = False,
+        skip_zero_volume_removal: bool = False,
+    ) -> None:
+        self.store = store
+        self.labels = labels
+        self.is_contract = is_contract
+        self.config = config or DetectionConfig()
+        self.methods = (
+            frozenset(enabled_methods)
+            if enabled_methods is not None
+            else frozenset(DetectionMethod)
+        )
+        self.detectors = build_detectors(self.methods)
+        self.skip_service_removal = skip_service_removal
+        self.skip_contract_removal = skip_contract_removal
+        self.skip_zero_volume_removal = skip_zero_volume_removal
+        self._repeat_enabled = DetectionMethod.REPEATED_SCC in self.methods
+
+        #: Exclusion masks, grown as new accounts are interned.
+        self._service_ids: Set[int] = set()
+        self._contract_ids: Set[int] = set()
+        self._classified_accounts = 0
+        self._service_mask: FrozenSet[int] = frozenset()
+        self._contract_mask: FrozenSet[int] = frozenset()
+
+        self.states: Dict[NFTKey, TokenState] = {}
+        #: First-seen position of each token; mirrors store order.
+        self._token_order: Dict[NFTKey, int] = {}
+        #: Multiset of account sets of base-confirmed activities.
+        self._confirmed_pool: Counter = Counter()
+        #: Account set -> tokens holding a base-unconfirmed candidate
+        #: with exactly that set (repeated-SCC flip propagation).
+        self._unconfirmed_index: Dict[FrozenSet[str], Set[NFTKey]] = {}
+        #: Currently confirmed activities per token, keyed for diffing.
+        self._confirmed: Dict[NFTKey, Dict[ActivityKey, WashTradingActivity]] = {}
+        self.confirmed_activity_count = 0
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def flagged_nfts(self) -> Set[NFTKey]:
+        """NFTs with at least one currently confirmed activity."""
+        return {nft for nft, entries in self._confirmed.items() if entries}
+
+    @property
+    def flagged_nft_count(self) -> int:
+        return sum(1 for entries in self._confirmed.values() if entries)
+
+    def order_of(self, nft: NFTKey) -> int:
+        """First-seen position of a known token (mirrors store order)."""
+        return self._token_order[nft]
+
+    # -- tick processing ---------------------------------------------------
+    def process(
+        self, dirty_tokens: Iterable[NFTKey], context: DetectionContext
+    ) -> TickReport:
+        """Re-refine and re-detect the dirty tokens; diff the outcome."""
+        dirty = [nft for nft in dirty_tokens if nft in self.store.tokens]
+        report = TickReport()
+        if not dirty:
+            return report
+        self._refresh_masks()
+
+        flipped_sets: Set[FrozenSet[str]] = set()
+        for nft in dirty:
+            if nft not in self._token_order:
+                self._token_order[nft] = len(self._token_order)
+            old = self.states.get(nft)
+            if old is not None:
+                self._retire_state(nft, old, flipped_sets)
+            state = self._compute_state(nft, context)
+            self._install_state(nft, state, flipped_sets)
+
+        affected = set(dirty)
+        if self._repeat_enabled:
+            for account_set in flipped_sets:
+                affected |= self._unconfirmed_index.get(account_set, set())
+        report.dirty_token_count = len(affected)
+
+        for nft in sorted(affected, key=self._token_order.__getitem__):
+            entries = self._confirmed_entries(nft)
+            previous = self._confirmed.get(nft, {})
+            for key, activity in entries.items():
+                if key not in previous:
+                    report.newly_confirmed.append(activity)
+            report.retracted_count += sum(
+                1 for key in previous if key not in entries
+            )
+            if entries and not previous:
+                report.newly_flagged.append(nft)
+            self.confirmed_activity_count += len(entries) - len(previous)
+            self._confirmed[nft] = entries
+        return report
+
+    # -- final assembly ----------------------------------------------------
+    def result(self) -> PipelineResult:
+        """The batch-identical pipeline result of the current state.
+
+        Candidates come out in store (first-seen) order; activities list
+        the base-confirmed components first and the repeated-SCC
+        confirmations after them, each group in candidate order --
+        exactly how the columnar executor merges its shards and then
+        applies ``confirm_repeated_components``.
+        """
+        merged = [StageAccumulator(name=name) for name in STAGE_NAMES]
+        candidates: List[CandidateComponent] = []
+        base_confirmed: List[WashTradingActivity] = []
+        repeated: List[WashTradingActivity] = []
+        unconfirmed: List[CandidateComponent] = []
+        for nft in self.store.tokens:
+            state = self.states.get(nft)
+            if state is None:
+                continue
+            for accumulator, stage in zip(merged, state.stages):
+                accumulator.merge(stage)
+            for component, evidence in zip(state.candidates, state.evidence):
+                candidates.append(component)
+                if evidence:
+                    base_confirmed.append(
+                        WashTradingActivity(
+                            component=component, evidence=list(evidence)
+                        )
+                    )
+                elif (
+                    self._repeat_enabled
+                    and self._confirmed_pool[component.accounts] > 0
+                ):
+                    repeated.append(
+                        WashTradingActivity(
+                            component=component,
+                            evidence=[_repeated_evidence(component)],
+                        )
+                    )
+                else:
+                    unconfirmed.append(component)
+        refinement = RefinementResult(
+            candidates=candidates,
+            stages=[accumulator.to_stage() for accumulator in merged],
+        )
+        return PipelineResult(
+            refinement=refinement,
+            activities=base_confirmed + repeated,
+            unconfirmed=unconfirmed,
+        )
+
+    # -- internals ---------------------------------------------------------
+    def _refresh_masks(self) -> None:
+        """Classify accounts interned since the last tick into the masks."""
+        accounts = self.store.accounts
+        if self._classified_accounts == len(accounts):
+            return
+        for account_id in range(self._classified_accounts, len(accounts)):
+            address = accounts[account_id]
+            if not self.skip_service_removal and self.labels.is_graph_excluded_service(
+                address
+            ):
+                self._service_ids.add(account_id)
+            if not self.skip_contract_removal and self.is_contract(address):
+                self._contract_ids.add(account_id)
+        self._classified_accounts = len(accounts)
+        self._service_mask = frozenset(self._service_ids)
+        self._contract_mask = frozenset(self._contract_ids)
+
+    def _compute_state(self, nft: NFTKey, context: DetectionContext) -> TokenState:
+        """Refine one token and run the per-component detectors."""
+        refinement = refine_tokens(
+            self.store.accounts,
+            [self.store.tokens[nft]],
+            service_ids=self._service_mask,
+            contract_ids=self._contract_mask,
+            skip_service_removal=self.skip_service_removal,
+            skip_contract_removal=self.skip_contract_removal,
+            skip_zero_volume_removal=self.skip_zero_volume_removal,
+        )
+        evidence_lists: List[List[DetectionEvidence]] = []
+        for component in refinement.candidates:
+            evidence: List[DetectionEvidence] = []
+            for detector in self.detectors:
+                found = detector.detect(component, context)
+                if found is not None:
+                    evidence.append(found)
+            evidence_lists.append(evidence)
+        return TokenState(
+            stages=refinement.stages,
+            candidates=refinement.candidates,
+            evidence=evidence_lists,
+        )
+
+    def _retire_state(
+        self, nft: NFTKey, state: TokenState, flipped_sets: Set[FrozenSet[str]]
+    ) -> None:
+        """Undo a token's contribution to the cross-token repeated state."""
+        for component, evidence in zip(state.candidates, state.evidence):
+            accounts = component.accounts
+            if evidence:
+                self._confirmed_pool[accounts] -= 1
+                if self._confirmed_pool[accounts] <= 0:
+                    del self._confirmed_pool[accounts]
+                    flipped_sets.add(accounts)
+            else:
+                holders = self._unconfirmed_index.get(accounts)
+                if holders is not None:
+                    holders.discard(nft)
+                    if not holders:
+                        del self._unconfirmed_index[accounts]
+
+    def _install_state(
+        self, nft: NFTKey, state: TokenState, flipped_sets: Set[FrozenSet[str]]
+    ) -> None:
+        """Record a token's fresh contribution to the repeated state."""
+        self.states[nft] = state
+        for component, evidence in zip(state.candidates, state.evidence):
+            accounts = component.accounts
+            if evidence:
+                if self._confirmed_pool[accounts] == 0:
+                    flipped_sets.add(accounts)
+                self._confirmed_pool[accounts] += 1
+            else:
+                self._unconfirmed_index.setdefault(accounts, set()).add(nft)
+
+    def _confirmed_entries(
+        self, nft: NFTKey
+    ) -> Dict[ActivityKey, WashTradingActivity]:
+        """The token's currently confirmed activities, keyed for diffing."""
+        state = self.states.get(nft)
+        entries: Dict[ActivityKey, WashTradingActivity] = {}
+        if state is None:
+            return entries
+        for component, evidence in zip(state.candidates, state.evidence):
+            if evidence:
+                entries[_activity_key(component)] = WashTradingActivity(
+                    component=component, evidence=list(evidence)
+                )
+            elif (
+                self._repeat_enabled
+                and self._confirmed_pool[component.accounts] > 0
+            ):
+                entries[_activity_key(component)] = WashTradingActivity(
+                    component=component,
+                    evidence=[_repeated_evidence(component)],
+                )
+        return entries

@@ -89,6 +89,74 @@ class TestColumnarTransferStore:
         assert not columns.touched_by(frozenset())
 
 
+class TestIncrementalAppend:
+    def equivalent_batch(self, transfers):
+        return ColumnarTransferStore.from_transfers({NFT: transfers})
+
+    def assert_same_columns(self, store, reference):
+        mine, theirs = store.tokens[NFT], reference.tokens[NFT]
+        assert list(mine.transfers) == list(theirs.transfers)
+        assert list(mine.timestamps) == list(theirs.timestamps)
+        assert mine.payment_flags == theirs.payment_flags
+        assert [store.address_of(i) for i in mine.senders] == [
+            reference.address_of(i) for i in theirs.senders
+        ]
+        assert [store.address_of(i) for i in mine.recipients] == [
+            reference.address_of(i) for i in theirs.recipients
+        ]
+        assert store.addresses_of(mine.account_ids) == reference.addresses_of(
+            theirs.account_ids
+        )
+
+    def test_in_order_append_extends_in_place(self):
+        first = [make_transfer("A", "B", 1, price=5)]
+        second = [make_transfer("B", "C", 2), make_transfer("C", "A", 3, price=1)]
+        store = ColumnarTransferStore()
+        store.add_token(NFT, first)
+        columns = store.tokens[NFT]
+        appended = store.append_token_transfers(NFT, second)
+        assert appended is columns  # fast path: no rebuild
+        self.assert_same_columns(store, self.equivalent_batch(first + second))
+
+    def test_out_of_order_append_rebuilds_identically(self):
+        late = [make_transfer("A", "B", 5)]
+        early = [make_transfer("B", "A", 1, price=2)]
+        store = ColumnarTransferStore()
+        store.add_token(NFT, late)
+        store.append_token_transfers(NFT, early)
+        self.assert_same_columns(store, self.equivalent_batch(late + early))
+
+    def test_append_to_unknown_token_creates_it(self):
+        store = ColumnarTransferStore()
+        store.append_token_transfers(NFT, [make_transfer("A", "B", 1)])
+        assert store.token_count == 1
+        assert store.tokens[NFT].row_count == 1
+
+    def test_empty_append_is_a_noop(self):
+        store = ColumnarTransferStore()
+        store.add_token(NFT, [make_transfer("A", "B", 1)])
+        columns = store.append_token_transfers(NFT, [])
+        assert columns.row_count == 1
+
+    def test_empty_append_never_creates_a_phantom_token(self):
+        store = ColumnarTransferStore()
+        assert store.append_token_transfers(NFT, []) is None
+        assert store.token_count == 0
+        assert store.extend({NFT: []}) == []
+        assert store.token_count == 0
+
+    def test_extend_reports_touched_tokens(self):
+        other = NFTKey(contract="0x" + "e" * 40, token_id=1)
+        store = ColumnarTransferStore()
+        store.add_token(NFT, [make_transfer("A", "B", 1)])
+        touched = store.extend(
+            {NFT: [make_transfer("B", "A", 2)], other: [make_transfer("C", "D", 2)]}
+        )
+        assert touched == [NFT, other]
+        assert store.token_count == 2
+        assert store.transfer_count == 3
+
+
 class TestTokenComponents:
     def build(self, transfers):
         store = ColumnarTransferStore.from_transfers({NFT: transfers})

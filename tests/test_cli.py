@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.__main__ import PRESETS, build_parser, main
+from repro.__main__ import PRESETS, build_monitor_parser, build_parser, main
 
 
 class TestParser:
@@ -20,6 +20,13 @@ class TestParser:
     def test_unknown_preset_rejected(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["--preset", "galactic"])
+
+    def test_monitor_parser_defaults(self):
+        args = build_monitor_parser().parse_args([])
+        assert args.preset == "small"
+        assert args.step_blocks == 25
+        assert args.watch == []
+        assert not args.quiet
 
 
 class TestMain:
@@ -38,3 +45,44 @@ class TestMain:
         assert output.exists()
         assert "Table II" in output.read_text()
         assert "Table II" in captured.out
+        # Without --quiet the trailing summary still prints.
+        assert "confirmed wash trading activities" in captured.out
+
+    def test_run_subcommand_is_equivalent(self, capsys):
+        exit_code = main(["run", "--preset", "tiny", "--quiet", "--seed", "5"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "confirmed wash trading activities" in captured.out
+
+    def test_quiet_with_output_writes_file_only(self, tmp_path, capsys):
+        output = tmp_path / "report.txt"
+        exit_code = main(
+            ["--preset", "tiny", "--quiet", "--seed", "5", "--output", str(output)]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Table II" in output.read_text()
+        assert captured.out == ""
+
+
+class TestMonitorCommand:
+    def test_monitor_prints_alerts_and_summary(self, capsys):
+        exit_code = main(["monitor", "--preset", "tiny", "--step-blocks", "50"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "FLAGGED" in captured.out
+        assert "confirmed activities" in captured.out
+        assert "blocks/s" in captured.out
+
+    def test_monitor_quiet_prints_only_summary(self, capsys):
+        exit_code = main(
+            ["monitor", "--preset", "tiny", "--step-blocks", "100", "--quiet"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "FLAGGED" not in captured.out
+        assert "confirmed activities" in captured.out
+
+    def test_monitor_rejects_unknown_preset(self):
+        with pytest.raises(SystemExit):
+            main(["monitor", "--preset", "galactic"])
