@@ -10,13 +10,22 @@ incremental path as the faster watchdog (the gap widens with cadence:
 replay pays the whole prefix again on every tick, the monitor only the
 new blocks and the tokens they touched).
 
+``test_reorg_rollback_beats_full_rebuild`` covers the reorg-heavy
+scenario: the chain tail is repeatedly reorganized and the monitor's
+journal rollback + re-ingest recovery is raced against what a
+non-reorg-safe system would have to do -- throw its state away and
+rebuild dataset + detection from scratch.  Pass ``--reorgs`` for the
+heavier schedule (more rounds, deeper cuts).
+
 Run with::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_stream_monitor.py -q
+    PYTHONPATH=src python -m pytest benchmarks/bench_stream_monitor.py --reorgs -q
 """
 
 from __future__ import annotations
 
+import random
 import time
 
 import pytest
@@ -25,6 +34,7 @@ from repro.core.detectors.pipeline import WashTradingPipeline
 from repro.ingest.dataset import build_dataset
 from repro.simulation.builder import build_default_world
 from repro.simulation.config import SimulationConfig
+from repro.simulation.reorg import apply_random_reorg
 from repro.stream import StreamingMonitor
 
 #: Monitoring cadence: both contenders tick at these shared boundaries.
@@ -104,6 +114,73 @@ def test_monitor_beats_prefix_replay(label, config_factory):
     assert monitor_result.activity_count > 0
     # ...and the incremental path wins the wall clock.
     assert monitor_total < replay_total
+
+
+def test_reorg_rollback_beats_full_rebuild(reorg_profile):
+    """Journal rollback recovery must beat cold dataset+detection rebuild.
+
+    Each round reorganizes the chain tail (transactions dropped,
+    delayed, occasionally a shortened branch), then times two recoveries
+    to the new canonical head: the monitor's rollback + re-ingest, and
+    the from-scratch ``build_dataset`` + columnar pipeline run a
+    stateless system would need.  Both must agree on the verdicts; the
+    rollback path must win the wall clock in total.
+    """
+    world = build_default_world(SimulationConfig.tiny())
+    monitor = StreamingMonitor.for_world(world, max_reorg_depth=64)
+    monitor.run(step_blocks=25)
+    pipeline = WashTradingPipeline(
+        labels=world.labels, is_contract=world.is_contract, engine="columnar"
+    )
+    rng = random.Random(20230227)
+
+    rounds = reorg_profile["rounds"]
+    depths = reorg_profile["depths"]
+    rollback_latencies = []
+    rebuild_latencies = []
+    for round_index in range(rounds):
+        depth = depths[round_index % len(depths)]
+        apply_random_reorg(
+            world.chain,
+            depth,
+            rng,
+            drop_probability=0.35,
+            delay_probability=0.25,
+            shorten=1 if round_index % 3 == 2 else 0,
+        )
+
+        started = time.perf_counter()
+        monitor.advance()
+        rollback_latencies.append(time.perf_counter() - started)
+
+        started = time.perf_counter()
+        rebuilt = pipeline.run(
+            build_dataset(world.node, world.marketplace_addresses)
+        )
+        rebuild_latencies.append(time.perf_counter() - started)
+
+        streamed = monitor.result()
+        assert streamed.activity_count == rebuilt.activity_count
+        assert streamed.refinement.stages == rebuilt.refinement.stages
+
+    rollback_total = sum(rollback_latencies)
+    rebuild_total = sum(rebuild_latencies)
+    print(
+        f"\n== reorg recovery: rollback vs full rebuild [tiny] == "
+        f"rounds={rounds} depths={depths}"
+    )
+    print(
+        f"  rollback  total={rollback_total:.3f}s"
+        f" mean={rollback_total / rounds * 1e3:7.2f}ms"
+        f" max={max(rollback_latencies) * 1e3:7.2f}ms"
+    )
+    print(
+        f"  rebuild   total={rebuild_total:.3f}s"
+        f" mean={rebuild_total / rounds * 1e3:7.2f}ms"
+        f" max={max(rebuild_latencies) * 1e3:7.2f}ms"
+    )
+    print(f"  speedup={rebuild_total / rollback_total:.2f}x")
+    assert rollback_total < rebuild_total
 
 
 def test_monitor_scales_with_cadence():

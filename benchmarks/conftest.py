@@ -35,6 +35,22 @@ def pytest_addoption(parser):
             f"(subset of {','.join(ALL_BACKENDS)}; default: all)"
         ),
     )
+    parser.addoption(
+        "--reorgs",
+        action="store_true",
+        help=(
+            "run the reorg-recovery benchmark with a heavier reorg schedule "
+            "(more rounds, deeper cuts) instead of the default smoke profile"
+        ),
+    )
+
+
+@pytest.fixture
+def reorg_profile(request):
+    """Reorg schedule for ``bench_stream_monitor``'s recovery benchmark."""
+    if request.config.getoption("--reorgs"):
+        return {"rounds": 12, "depths": (1, 3, 8, 21, 55)}
+    return {"rounds": 4, "depths": (2, 8, 21)}
 
 
 def pytest_generate_tests(metafunc):

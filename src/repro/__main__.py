@@ -92,6 +92,8 @@ def build_parser() -> argparse.ArgumentParser:
 
 def build_monitor_parser() -> argparse.ArgumentParser:
     """The ``monitor`` (streaming watchdog) command-line interface."""
+    from repro.stream import DEFAULT_MAX_REORG_DEPTH
+
     parser = argparse.ArgumentParser(
         prog="repro monitor",
         description=(
@@ -112,6 +114,17 @@ def build_monitor_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="ACCOUNT",
         help="watchlist an account address (repeatable)",
+    )
+    parser.add_argument(
+        "--max-reorg-depth",
+        type=int,
+        default=DEFAULT_MAX_REORG_DEPTH,
+        metavar="BLOCKS",
+        help=(
+            "rollback journal window, in blocks below the highest processed "
+            "head; reorgs reaching below it cannot be repaired in place "
+            f"(default: {DEFAULT_MAX_REORG_DEPTH})"
+        ),
     )
     parser.add_argument(
         "--quiet",
@@ -164,13 +177,25 @@ def run_monitor(argv: Sequence[str]) -> int:
         config.seed = args.seed
 
     world = build_default_world(config)
-    monitor = StreamingMonitor.for_world(world, watchlist=args.watch)
+    monitor = StreamingMonitor.for_world(
+        world, watchlist=args.watch, max_reorg_depth=args.max_reorg_depth
+    )
 
     if not args.quiet:
 
         @monitor.subscribe
         def _print_alert(alert) -> None:
-            if alert.kind is AlertKind.NFT_FLAGGED:
+            if alert.kind is AlertKind.REORG_DETECTED:
+                print(
+                    f"  [block {alert.block:>6}] REORG depth {alert.reorg_depth} "
+                    f"(fork at block {alert.fork_block})"
+                )
+            elif alert.kind is AlertKind.ACTIVITY_RETRACTED:
+                print(
+                    f"  [block {alert.block:>6}] RETRACTED {alert.nft.contract}#"
+                    f"{alert.nft.token_id} ({len(alert.accounts)} accounts)"
+                )
+            elif alert.kind is AlertKind.NFT_FLAGGED:
                 print(
                     f"  [block {alert.block:>6}] FLAGGED {alert.nft.contract}#"
                     f"{alert.nft.token_id} ({len(alert.accounts)} accounts, "

@@ -14,6 +14,7 @@ from repro.chain.errors import (
     InsufficientBalanceError,
     UnknownAccountError,
     ContractExecutionError,
+    InvalidReorgError,
     InvalidTimestampError,
 )
 from repro.chain.account import Account
@@ -35,6 +36,7 @@ __all__ = [
     "InsufficientBalanceError",
     "UnknownAccountError",
     "ContractExecutionError",
+    "InvalidReorgError",
     "InvalidTimestampError",
     "Account",
     "Log",

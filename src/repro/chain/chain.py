@@ -2,13 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from repro.chain.block import Block
 from repro.chain.context import TxContext
 from repro.chain.errors import (
     ContractExecutionError,
     InsufficientBalanceError,
+    InvalidReorgError,
     InvalidTimestampError,
 )
 from repro.chain.gas import GasPriceOracle, GasSchedule
@@ -16,11 +17,14 @@ from repro.chain.index import AccountIndex
 from repro.chain.state import WorldState
 from repro.chain.transaction import Receipt, Transaction
 from repro.chain.types import Call, ValueTransfer
-from repro.utils.hashing import address_from_parts, new_tx_hash
+from repro.utils.hashing import address_from_parts, keccak_hex, new_tx_hash
 from repro.utils.timeutil import SIMULATION_EPOCH
 
 #: Address credited with gas fees (a stand-in for miners/validators).
 COINBASE_ADDRESS = "0x" + "c0ffee" * 6 + "c0ff"
+
+#: Parent hash of block 0, by convention all zeroes (like mainnet).
+GENESIS_PARENT_HASH = "0x" + "0" * 64
 
 
 class Chain:
@@ -47,6 +51,9 @@ class Chain:
         self.account_index = AccountIndex()
         self._tx_by_hash: Dict[str, Transaction] = {}
         self._contract_serial = 0
+        #: Chained hashes of *sealed* blocks (every block but the head,
+        #: whose content may still grow), filled lazily by block_hash.
+        self._sealed_hashes: List[str] = []
 
     # -- chain head ---------------------------------------------------------
     @property
@@ -62,6 +69,117 @@ class Chain:
     def transaction_count(self) -> int:
         """Total number of transactions on the chain."""
         return len(self._tx_by_hash)
+
+    # -- block identity ------------------------------------------------------
+    def block_hash(self, number: int) -> str:
+        """The chained hash of a block.
+
+        The hash commits to the block's number, timestamp, transaction
+        hashes *and its parent's hash*, so two chains agreeing on the
+        hash of block ``n`` agree on every block up to ``n`` -- the
+        property a follower relies on to detect reorganisations from a
+        single tail comparison.  Hashes of sealed blocks (everything
+        below the head) are cached; the head block may still accept
+        transactions, so its hash is recomputed on each call.
+        """
+        if number < 0 or number >= len(self.blocks):
+            raise IndexError(f"block {number} does not exist")
+        sealed_limit = len(self.blocks) - 1
+        while len(self._sealed_hashes) < min(number + 1, sealed_limit):
+            self._sealed_hashes.append(self._compute_block_hash(len(self._sealed_hashes)))
+        if number < sealed_limit:
+            return self._sealed_hashes[number]
+        return self._compute_block_hash(number)
+
+    def parent_hash(self, number: int) -> str:
+        """The hash of a block's parent (all zeroes for block 0)."""
+        if number <= 0:
+            return GENESIS_PARENT_HASH
+        return self.block_hash(number - 1)
+
+    def _compute_block_hash(self, number: int) -> str:
+        block = self.blocks[number]
+        parent = (
+            self._sealed_hashes[number - 1] if number > 0 else GENESIS_PARENT_HASH
+        )
+        return keccak_hex(
+            "block", block.number, block.timestamp, parent, tuple(block.transaction_hashes)
+        )
+
+    # -- reorganisation ------------------------------------------------------
+    def reorg(
+        self, depth: int, replacement_blocks: Optional[Sequence[Block]] = None
+    ) -> List[Block]:
+        """Replace the last ``depth`` blocks with an alternative branch.
+
+        The orphaned blocks' transactions are removed from the hash and
+        account indexes, the replacement blocks (which may be fewer than
+        ``depth``, shrinking the head) are appended and indexed, and the
+        orphaned blocks are returned.  Replacement blocks must continue
+        the fork point: consecutive numbers, non-decreasing timestamps,
+        and every carried transaction stamped with its block's position.
+
+        The world *state* (balances, token ownership, contract storage)
+        is deliberately left untouched: this substrate executes
+        transactions eagerly and keeps their receipts, so a reorg here
+        revises the observable ledger -- blocks, transactions, logs,
+        the account index, block hashes -- which is everything the data
+        collection layer reads.  Re-executing an alternative history is
+        out of scope; followers care about what the canonical chain
+        *says happened*, and that is what this primitive rewrites.
+        """
+        if depth < 1:
+            raise InvalidReorgError(f"depth must be >= 1, got {depth}")
+        if depth > len(self.blocks):
+            raise InvalidReorgError(
+                f"depth {depth} exceeds chain length {len(self.blocks)}"
+            )
+        replacement = list(replacement_blocks or ())
+        fork_number = len(self.blocks) - depth - 1
+        fork_timestamp = (
+            self.blocks[fork_number].timestamp
+            if fork_number >= 0
+            else self.genesis_timestamp
+        )
+        expected_number = fork_number + 1
+        last_timestamp = fork_timestamp
+        for block in replacement:
+            if block.number != expected_number:
+                raise InvalidReorgError(
+                    f"replacement block {block.number} breaks numbering "
+                    f"(expected {expected_number})"
+                )
+            if block.timestamp < last_timestamp:
+                raise InvalidReorgError(
+                    f"replacement block {block.number} timestamp {block.timestamp} "
+                    f"precedes its parent's {last_timestamp}"
+                )
+            for tx in block.transactions:
+                if tx.block_number != block.number or tx.timestamp != block.timestamp:
+                    raise InvalidReorgError(
+                        f"transaction {tx.hash} is stamped for block "
+                        f"{tx.block_number}@{tx.timestamp} but carried by block "
+                        f"{block.number}@{block.timestamp}"
+                    )
+            expected_number += 1
+            last_timestamp = block.timestamp
+
+        orphaned = self.blocks[fork_number + 1 :]
+        for block in orphaned:
+            for tx in block.transactions:
+                self._tx_by_hash.pop(tx.hash, None)
+                self.account_index.remove(tx)
+        del self.blocks[fork_number + 1 :]
+        # With no replacement the fork block itself becomes the open head
+        # again and may grow, so its cached sealed hash must go too.
+        cached = fork_number + 1 if replacement else max(fork_number, 0)
+        del self._sealed_hashes[cached:]
+        for block in replacement:
+            self.blocks.append(block)
+            for tx in block.transactions:
+                self._tx_by_hash[tx.hash] = tx
+                self.account_index.record(tx)
+        return orphaned
 
     # -- funding and deployment ----------------------------------------------
     def faucet(self, address: str, amount_wei: int) -> None:

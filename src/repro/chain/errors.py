@@ -41,6 +41,20 @@ class ContractExecutionError(ChainError):
         self.reason = reason
 
 
+class InvalidReorgError(ChainError):
+    """A chain reorganisation request was malformed.
+
+    Raised when the requested depth exceeds the chain, or when a
+    replacement branch is not a well-formed continuation of the fork
+    point (non-consecutive numbers, decreasing timestamps, or
+    transactions whose recorded position disagrees with their block).
+    """
+
+    def __init__(self, reason: str) -> None:
+        super().__init__(f"invalid reorg: {reason}")
+        self.reason = reason
+
+
 class InvalidTimestampError(ChainError):
     """A transaction was submitted with a timestamp earlier than the chain head."""
 

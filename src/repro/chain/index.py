@@ -51,6 +51,28 @@ class AccountIndex:
                 self._seen[address].add(tx.hash)
                 self._by_account[address].append(tx)
 
+    def remove(self, tx: Transaction) -> None:
+        """Unindex a transaction orphaned by a chain reorganisation.
+
+        Reorgs drop blocks from the tail, so the removed entries sit at
+        the end of each per-account list; the search walks backwards.
+        Empty buckets are deleted so ``accounts()`` and membership tests
+        never report an address whose every transaction was orphaned.
+        """
+        for address in transaction_parties(tx):
+            seen = self._seen.get(address)
+            if seen is None or tx.hash not in seen:
+                continue
+            seen.discard(tx.hash)
+            bucket = self._by_account.get(address, [])
+            for position in range(len(bucket) - 1, -1, -1):
+                if bucket[position].hash == tx.hash:
+                    del bucket[position]
+                    break
+            if not bucket:
+                self._by_account.pop(address, None)
+                self._seen.pop(address, None)
+
     def transactions_of(self, address: str) -> List[Transaction]:
         """All transactions involving ``address``, in chain order."""
         return list(self._by_account.get(address, ()))

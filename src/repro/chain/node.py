@@ -35,6 +35,20 @@ class EthereumNode:
             raise IndexError(f"block {number} does not exist")
         return self.chain.blocks[number]
 
+    def get_block_hash(self, number: int) -> str:
+        """Return the chained hash of a block.
+
+        The hash commits to the whole prefix (each block's hash includes
+        its parent's), so a follower that remembers the hash of its tail
+        block can detect any reorganisation of already-processed history
+        with a single comparison.
+        """
+        return self.chain.block_hash(number)
+
+    def get_parent_hash(self, number: int) -> str:
+        """Return the parent hash of a block (all zeroes for block 0)."""
+        return self.chain.parent_hash(number)
+
     def iter_blocks(
         self, from_block: int = 0, to_block: Optional[int] = None
     ) -> Iterator[Block]:

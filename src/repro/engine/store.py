@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from array import array
 from dataclasses import dataclass, field
-from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, FrozenSet, Iterable, Iterator, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.chain.types import NFTKey
 from repro.ingest.records import NFTTransfer
@@ -74,6 +74,11 @@ class ColumnarTransferStore:
         self.accounts: List[str] = []
         self._ids: Dict[str, int] = {}
         self.tokens: Dict[NFTKey, TokenColumns] = {}
+        #: Tokens whose columns went through the out-of-order rebuild
+        #: fallback since their creation.  Row positions of such tokens no
+        #: longer correspond to append order, so rollback consumers must
+        #: re-columnarize them instead of truncating by row count.
+        self.rebuilt_tokens: Set[NFTKey] = set()
 
     # -- construction ------------------------------------------------------
     def intern(self, address: str) -> int:
@@ -87,7 +92,14 @@ class ColumnarTransferStore:
         return new_id
 
     def add_token(self, nft: NFTKey, transfers: Sequence[NFTTransfer]) -> TokenColumns:
-        """Intern and columnarize the transfers of one NFT."""
+        """Intern and columnarize the transfers of one NFT.
+
+        If the token already exists its :class:`TokenColumns` object is
+        rewritten *in place*, so every caller holding a previously
+        returned columns reference keeps seeing current rows -- the
+        out-of-order append fallback and the rollback path both rely on
+        this aliasing guarantee.
+        """
         ordered = tuple(sorted(transfers, key=_row_sort_key))
         timestamps = array("q")
         senders = array("q")
@@ -104,6 +116,15 @@ class ColumnarTransferStore:
                 payment_flags[row] = 1
             token_ids.add(sender_id)
             token_ids.add(recipient_id)
+        columns = self.tokens.get(nft)
+        if columns is not None:
+            columns.transfers = ordered
+            columns.timestamps = timestamps
+            columns.senders = senders
+            columns.recipients = recipients
+            columns.payment_flags = bytes(payment_flags)
+            columns.account_ids = frozenset(token_ids)
+            return columns
         columns = TokenColumns(
             nft=nft,
             transfers=ordered,
@@ -154,7 +175,10 @@ class ColumnarTransferStore:
         if columns.transfers and _row_sort_key(ordered[0]) < _row_sort_key(
             columns.transfers[-1]
         ):
-            # Out-of-order arrival: rebuild the token's columns wholesale.
+            # Out-of-order arrival: rebuild the token's columns wholesale
+            # (in place -- add_token rewrites the existing TokenColumns,
+            # so column references held by callers stay live).
+            self.rebuilt_tokens.add(nft)
             return self.add_token(nft, tuple(columns.transfers) + tuple(ordered))
 
         new_flags = bytearray(len(ordered))
@@ -185,6 +209,71 @@ class ColumnarTransferStore:
             self.append_token_transfers(nft, transfers)
             touched.append(nft)
         return touched
+
+    # -- rollback ----------------------------------------------------------
+    def truncate_token(self, nft: NFTKey, row_count: int) -> int:
+        """Drop every row of a token past ``row_count``, in place.
+
+        This is the reorg rollback fast path: streaming appends arrive in
+        row order, so per-append row-count watermarks identify exactly
+        the rows a rolled-back block contributed.  The existing
+        :class:`TokenColumns` object is mutated (aliases stay live);
+        truncating to zero rows removes the token entirely.  Returns the
+        number of rows removed.  Tokens in :attr:`rebuilt_tokens` must be
+        re-columnarized through :meth:`rebuild_token` instead -- their
+        row order no longer matches append order.
+
+        Interned accounts are never un-interned: ids are append-only and
+        rows simply stop referencing them, which keeps every mask and id
+        handed out earlier valid.
+        """
+        if nft in self.rebuilt_tokens:
+            raise ValueError(
+                f"{nft} went through the out-of-order rebuild fallback; "
+                f"roll it back via rebuild_token, not truncate_token"
+            )
+        columns = self.tokens[nft]
+        if row_count < 0 or row_count > columns.row_count:
+            raise ValueError(
+                f"cannot truncate {nft} to {row_count} rows "
+                f"(has {columns.row_count})"
+            )
+        removed = columns.row_count - row_count
+        if removed == 0:
+            return 0
+        if row_count == 0:
+            self.remove_token(nft)
+            return removed
+        columns.transfers = columns.transfers[:row_count]
+        del columns.timestamps[row_count:]
+        del columns.senders[row_count:]
+        del columns.recipients[row_count:]
+        columns.payment_flags = columns.payment_flags[:row_count]
+        columns.account_ids = frozenset(columns.senders) | frozenset(
+            columns.recipients
+        )
+        return removed
+
+    def rebuild_token(self, nft: NFTKey, transfers: Sequence[NFTTransfer]) -> Optional[TokenColumns]:
+        """Re-columnarize one token from an authoritative transfer list.
+
+        The rollback slow path, for tokens whose columns went through the
+        out-of-order rebuild fallback: row positions of such tokens no
+        longer encode append order, so the caller supplies the surviving
+        transfers wholesale.  Rewrites the existing columns object in
+        place (or removes the token if no transfers survive) and clears
+        the token's rebuilt mark -- the fresh columns are canonical.
+        """
+        self.rebuilt_tokens.discard(nft)
+        if not transfers:
+            self.remove_token(nft)
+            return None
+        return self.add_token(nft, transfers)
+
+    def remove_token(self, nft: NFTKey) -> None:
+        """Forget a token entirely (all of its rows were rolled back)."""
+        self.tokens.pop(nft, None)
+        self.rebuilt_tokens.discard(nft)
 
     # -- queries -----------------------------------------------------------
     @property

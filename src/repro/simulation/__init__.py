@@ -11,6 +11,12 @@ activity.
 
 from repro.simulation.config import SimulationConfig
 from repro.simulation.ground_truth import GroundTruth, PlannedActivity
+from repro.simulation.reorg import (
+    ReorgStorm,
+    ReorgSummary,
+    apply_random_reorg,
+    build_replacement_blocks,
+)
 from repro.simulation.world import World
 from repro.simulation.builder import WorldBuilder, build_default_world
 
@@ -18,7 +24,11 @@ __all__ = [
     "SimulationConfig",
     "GroundTruth",
     "PlannedActivity",
+    "ReorgStorm",
+    "ReorgSummary",
     "World",
     "WorldBuilder",
+    "apply_random_reorg",
+    "build_replacement_blocks",
     "build_default_world",
 ]

@@ -1,0 +1,205 @@
+"""Adversarial chain reorganisations.
+
+The builder produces a finished canonical chain; this module *revises*
+one, the way a live Ethereum head does: the last ``depth`` blocks are
+orphaned and re-mined into a replacement branch in which each orphaned
+transaction is either kept in place, delayed into a later block, or
+dropped entirely -- and the branch may be shorter than the orphaned one,
+regressing the head.  Dropping the transactions that completed a wash
+cycle is exactly the adversarial case the streaming stack must survive:
+a confirmed activity whose evidence vanishes mid-sequence has to be
+retracted, and re-confirmed only if the canonical branch re-establishes
+it.
+
+:class:`ReorgStorm` drives a :class:`~repro.stream.StreamingMonitor`
+over a world while injecting randomized reorgs between ticks -- the
+harness behind the reorg parity tests and the rollback-recovery
+benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence, Tuple
+
+from repro.chain.block import Block
+from repro.chain.chain import Chain
+
+
+@dataclass(frozen=True)
+class ReorgSummary:
+    """What one applied reorganisation did to the chain."""
+
+    depth: int
+    fork_block: int
+    orphaned_tx_count: int
+    dropped_tx_count: int
+    delayed_tx_count: int
+    replacement_block_count: int
+    new_head: int
+
+
+def build_replacement_blocks(
+    orphaned: Sequence[Block],
+    rng,
+    drop_probability: float = 0.25,
+    delay_probability: float = 0.25,
+    shorten: int = 0,
+) -> Tuple[List[Block], int, int]:
+    """Re-mine orphaned blocks into an adversarial replacement branch.
+
+    The replacement keeps the orphaned blocks' numbers and timestamps
+    (minus the last ``shorten`` slots, which regresses the head); every
+    orphaned transaction is independently dropped with
+    ``drop_probability``, delayed one or two slots with
+    ``delay_probability``, or kept in its original slot -- and a
+    transaction whose slot was cut by ``shorten`` is always dropped (the
+    shortened branch simply never mined it).  Transactions landing in a
+    different slot are re-stamped with that block's number and timestamp
+    (their hash -- their identity -- is preserved, as on a real chain).
+    Returns ``(blocks, dropped_count, delayed_count)``.  ``rng`` needs
+    ``random()`` and ``randint(a, b)`` -- both ``random.Random`` and the
+    simulation's DeterministicRNG qualify.
+    """
+    slots = [(block.number, block.timestamp) for block in orphaned]
+    if shorten > 0:
+        slots = slots[: max(len(slots) - shorten, 0)]
+    blocks = [Block(number=number, timestamp=timestamp) for number, timestamp in slots]
+    dropped = 0
+    delayed = 0
+    for index, source in enumerate(orphaned):
+        for tx in source.transactions:
+            if index >= len(blocks):
+                dropped += 1  # its slot was cut off the branch
+                continue
+            roll = rng.random()
+            if roll < drop_probability:
+                dropped += 1
+                continue
+            slot = index
+            if (
+                roll < drop_probability + delay_probability
+                and slot < len(blocks) - 1
+            ):
+                slot = min(slot + rng.randint(1, 2), len(blocks) - 1)
+                delayed += 1
+            target = blocks[slot]
+            if tx.block_number != target.number or tx.timestamp != target.timestamp:
+                tx = replace(
+                    tx, block_number=target.number, timestamp=target.timestamp
+                )
+            target.transactions.append(tx)
+    return blocks, dropped, delayed
+
+
+def apply_random_reorg(
+    chain: Chain,
+    depth: int,
+    rng,
+    drop_probability: float = 0.25,
+    delay_probability: float = 0.25,
+    shorten: int = 0,
+) -> ReorgSummary:
+    """Orphan the chain's last ``depth`` blocks and install a random branch."""
+    depth = min(depth, len(chain.blocks))
+    orphaned_view = chain.blocks[-depth:]
+    replacement, dropped, delayed = build_replacement_blocks(
+        orphaned_view,
+        rng,
+        drop_probability=drop_probability,
+        delay_probability=delay_probability,
+        shorten=shorten,
+    )
+    orphaned = chain.reorg(depth, replacement)
+    return ReorgSummary(
+        depth=depth,
+        fork_block=orphaned[0].number - 1,
+        orphaned_tx_count=sum(len(block) for block in orphaned),
+        dropped_tx_count=dropped,
+        delayed_tx_count=delayed,
+        replacement_block_count=len(replacement),
+        new_head=chain.head_block_number,
+    )
+
+
+class ReorgStorm:
+    """Follow a world's chain while adversarially reorganizing it.
+
+    Between monitor ticks of randomized width, the storm reorganizes the
+    chain tail with probability ``reorg_probability`` -- dropping and
+    delaying transactions mid-wash-sequence, occasionally shrinking the
+    head outright (a regression the cursor must treat as the reorg it
+    is).  Leave generous headroom between ``max_depth`` and the
+    monitor's ``max_reorg_depth`` (the parity tests use 13 vs 64): the
+    journal window is anchored to the highest committed head, so
+    back-to-back shortening reorgs can reach below it and (correctly)
+    raise :class:`~repro.stream.ReorgTooDeepError` even at depths under
+    the configured maximum.
+
+    After the storm, the chain is whatever canonical history the last
+    reorg left behind, and the monitor has followed every revision; a
+    batch pipeline run over that final chain is the parity reference.
+    """
+
+    def __init__(
+        self,
+        world,
+        rng,
+        reorg_probability: float = 0.35,
+        max_depth: int = 12,
+        drop_probability: float = 0.3,
+        delay_probability: float = 0.25,
+        max_shorten: int = 2,
+        step_range: Tuple[int, int] = (5, 120),
+        max_ticks: Optional[int] = None,
+    ) -> None:
+        self.world = world
+        self.rng = rng
+        self.reorg_probability = reorg_probability
+        self.max_depth = max_depth
+        self.drop_probability = drop_probability
+        self.delay_probability = delay_probability
+        self.max_shorten = max_shorten
+        self.step_range = step_range
+        self.max_ticks = max_ticks
+
+    def run(self, monitor) -> List[ReorgSummary]:
+        """Drive ``monitor`` to the (reorganizing) head; return the reorgs."""
+        chain = self.world.chain
+        node = self.world.node
+        limit = (
+            self.max_ticks
+            if self.max_ticks is not None
+            else 10 * (node.block_number + 2) + 100
+        )
+        summaries: List[ReorgSummary] = []
+        for _ in range(limit):
+            head = node.block_number
+            if monitor.processed_block >= head:
+                break
+            target = min(
+                head, monitor.processed_block + self.rng.randint(*self.step_range)
+            )
+            monitor.advance(target)
+            if self.rng.random() < self.reorg_probability and chain.blocks:
+                depth = self.rng.randint(1, min(self.max_depth, len(chain.blocks)))
+                shorten = self.rng.randint(0, min(self.max_shorten, depth))
+                summaries.append(
+                    apply_random_reorg(
+                        chain,
+                        depth,
+                        self.rng,
+                        drop_probability=self.drop_probability,
+                        delay_probability=self.delay_probability,
+                        shorten=shorten,
+                    )
+                )
+        else:
+            raise RuntimeError(
+                f"reorg storm did not converge within {limit} ticks"
+            )
+        # Settle: the loop exits as soon as the monitor touches the head,
+        # which may still be a just-reorged one -- one final advance
+        # rolls back / re-ingests whatever the last revision changed.
+        monitor.advance()
+        return summaries

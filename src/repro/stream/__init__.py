@@ -14,21 +14,35 @@ fact; this package answers it *while it happens*.  Three pieces:
   :class:`MonitorSnapshot` statistics.
 
 Feeding a whole chain through the monitor yields exactly the batch
-pipeline's result (``tests/stream`` pins the parity).
+pipeline's result (``tests/stream`` pins the parity), and the stack is
+reorg-safe end to end: the cursor journals each ingested block, rolls
+back to the fork point when the head diverges (or regresses), and the
+scheduler retracts confirmations for rolled-back transfers -- published
+to subscribers as ``REORG_DETECTED`` / ``ACTIVITY_RETRACTED`` alerts.
+A reorg deeper than the journal raises :class:`ReorgTooDeepError`.
 """
 
 from repro.stream.alerts import Alert, AlertKind, MonitorSnapshot
-from repro.stream.cursor import CursorTick, DatasetCursor
+from repro.stream.cursor import (
+    DEFAULT_MAX_REORG_DEPTH,
+    BlockJournalEntry,
+    CursorTick,
+    DatasetCursor,
+    ReorgTooDeepError,
+)
 from repro.stream.monitor import StreamingMonitor
 from repro.stream.scheduler import DirtyTokenScheduler, TickReport
 
 __all__ = [
     "Alert",
     "AlertKind",
+    "BlockJournalEntry",
     "CursorTick",
+    "DEFAULT_MAX_REORG_DEPTH",
     "DatasetCursor",
     "DirtyTokenScheduler",
     "MonitorSnapshot",
+    "ReorgTooDeepError",
     "StreamingMonitor",
     "TickReport",
 ]

@@ -6,6 +6,37 @@ the marketplace-facing surface of Sec. IX ("can marketplaces prevent
 wash trading activities?"): a venue subscribing to these events can warn
 buyers on the NFT page, or withhold reward tokens, the moment an
 activity is confirmed instead of in a post-hoc study.
+
+Alert-retraction semantics
+--------------------------
+
+A live chain head reorganizes, and detection state over a live head is
+therefore *revisable*: the monitor publishes revisions as first-class
+events rather than silently rewriting history.  The contract
+subscribers can rely on:
+
+* ``ACTIVITY_CONFIRMED`` means "confirmed *on the canonical chain as of
+  this block*".  It is not final.
+* If the confirming transfers are later rolled back by a reorg -- or
+  the component dissolves for any other reason (its account set grew,
+  the repeated-SCC pool flipped off) -- the monitor emits exactly one
+  ``ACTIVITY_RETRACTED`` carrying the previously announced activity.
+  A venue that froze rewards on the confirmation can release them on
+  the retraction.
+* A reorg tick opens with a single ``REORG_DETECTED`` alert (depth and
+  fork block attached) *before* any retraction/confirmation it caused,
+  so subscribers can correlate the revision burst with its cause.
+* An activity that is re-established by the replacement branch is
+  announced again with a fresh ``ACTIVITY_CONFIRMED`` -- confirm /
+  retract / confirm sequences are possible and each transition is
+  explicit.
+* ``NFT_FLAGGED`` fires when an NFT gains its first *currently
+  confirmed* activity; after a retraction empties the NFT, a later
+  re-confirmation flags it again.
+
+Alerts that were already delivered are never rewritten or deleted:
+``monitor.alerts`` is an append-only stream, and the current truth is
+always the confirmations minus the retractions.
 """
 
 from __future__ import annotations
@@ -19,7 +50,7 @@ from repro.core.activity import WashTradingActivity
 
 
 class AlertKind(str, enum.Enum):
-    """The three event types the monitor publishes."""
+    """The event types the monitor publishes."""
 
     #: A wash trading activity was confirmed for the first time.
     ACTIVITY_CONFIRMED = "activity-confirmed"
@@ -27,6 +58,12 @@ class AlertKind(str, enum.Enum):
     NFT_FLAGGED = "nft-flagged"
     #: A newly confirmed activity involves a watchlisted account.
     WATCHLIST_HIT = "watchlist-hit"
+    #: The chain reorganized under the monitor; previously ingested
+    #: blocks were rolled back to the fork point.
+    REORG_DETECTED = "reorg-detected"
+    #: A previously confirmed activity no longer holds (its transfers
+    #: were reorged away, or its component dissolved) and is withdrawn.
+    ACTIVITY_RETRACTED = "activity-retracted"
 
 
 @dataclass(frozen=True)
@@ -38,25 +75,39 @@ class Alert:
     block: int
     #: Timestamp of that head block (0 when the chain has no blocks yet).
     timestamp: int
-    nft: NFTKey
-    #: The confirming activity (ACTIVITY_CONFIRMED and WATCHLIST_HIT carry
-    #: the activity that fired; NFT_FLAGGED carries the first activity).
-    activity: WashTradingActivity
+    #: The NFT concerned (None only for REORG_DETECTED, which is a
+    #: chain-level event).
+    nft: Optional[NFTKey] = None
+    #: The activity behind the alert: the confirming activity for
+    #: ACTIVITY_CONFIRMED and WATCHLIST_HIT, the first activity for
+    #: NFT_FLAGGED, the *withdrawn* activity for ACTIVITY_RETRACTED,
+    #: and None for REORG_DETECTED.
+    activity: Optional[WashTradingActivity] = None
     #: Watchlisted accounts involved (only set for WATCHLIST_HIT).
     watched_accounts: FrozenSet[str] = frozenset()
+    #: Blocks rolled back (only set for REORG_DETECTED).
+    reorg_depth: int = 0
+    #: Deepest block that survived the rollback (REORG_DETECTED only;
+    #: -1 when the monitor's entire ingested history diverged).
+    fork_block: int = -1
 
     @property
     def accounts(self) -> FrozenSet[str]:
-        """The colluding accounts behind the alert."""
-        return self.activity.accounts
+        """The colluding accounts behind the alert (empty for reorgs)."""
+        return self.activity.accounts if self.activity is not None else frozenset()
 
     @property
     def latency_blocks(self) -> int:
         """Blocks between the last wash trade and the alert being raised.
 
         The venue-side detection lag: 0 means the activity was flagged in
-        the very block that completed it.
+        the very block that completed it.  Only meaningful for
+        confirmation-style alerts; 0 for REORG_DETECTED, and possibly
+        negative for ACTIVITY_RETRACTED (the retracted activity's
+        transfers may sit above the post-rollback head).
         """
+        if self.activity is None:
+            return 0
         last_trade_block = max(
             transfer.block_number for transfer in self.activity.component.transfers
         )
@@ -69,7 +120,9 @@ class MonitorSnapshot:
 
     #: Monotone tick counter (first processed tick is 1).
     tick: int
-    #: Inclusive block range this tick ingested (from > to for empty ticks).
+    #: Inclusive block range this tick ingested (from > to for empty
+    #: ticks; after a rollback, from_block restarts at the fork + 1, so
+    #: it may precede the previous snapshot's to_block).
     from_block: int
     to_block: int
     #: ERC-721 transfer events appended this tick.
@@ -86,10 +139,20 @@ class MonitorSnapshot:
     total_token_count: int
     confirmed_activity_count: int
     flagged_nft_count: int
+    #: Blocks rolled back by a reorg before this tick's scan (0: none).
+    reorg_depth: int = 0
+    #: Transfers the rollback removed (re-ingested canonical rows count
+    #: toward new_transfer_count as usual).
+    rolled_back_transfer_count: int = 0
     #: Alerts raised this tick.
     alerts: Tuple[Alert, ...] = field(default_factory=tuple)
 
     @property
     def is_empty(self) -> bool:
-        """True when the tick ingested no new blocks or transfers."""
-        return self.new_transfer_count == 0 and self.dirty_token_count == 0
+        """True when the tick changed nothing: no new transfers, no
+        re-detection and no rollback."""
+        return (
+            self.new_transfer_count == 0
+            and self.dirty_token_count == 0
+            and self.reorg_depth == 0
+        )

@@ -9,6 +9,13 @@ activity is confirmed, and every tick yields a
 up-to-date statistics.  After following the whole chain,
 :meth:`result` returns the exact :class:`PipelineResult` a batch
 ``WashTradingPipeline(engine="columnar")`` run would have produced.
+
+The monitor is reorg-aware: when the cursor detects that the head
+diverged (or regressed), the rollback's tokens are re-detected, the
+withdrawn activities are published as ``ACTIVITY_RETRACTED`` alerts
+behind a ``REORG_DETECTED`` marker, and the parity guarantee holds
+against the *final canonical chain* -- see
+:mod:`repro.stream.alerts` for the revision contract.
 """
 
 from __future__ import annotations
@@ -21,8 +28,8 @@ from repro.core.detectors.base import DetectionConfig, DetectionContext
 from repro.core.detectors.pipeline import PipelineResult
 from repro.engine.executor import TransactionView
 from repro.stream.alerts import Alert, AlertKind, MonitorSnapshot
-from repro.stream.cursor import DatasetCursor
-from repro.stream.scheduler import DirtyTokenScheduler
+from repro.stream.cursor import DEFAULT_MAX_REORG_DEPTH, CursorTick, DatasetCursor
+from repro.stream.scheduler import DirtyTokenScheduler, TickReport
 
 AlertCallback = Callable[[Alert], None]
 SnapshotCallback = Callable[[MonitorSnapshot], None]
@@ -42,6 +49,7 @@ class StreamingMonitor:
         watchlist: Optional[Iterable[str]] = None,
         enforce_compliance: bool = True,
         start_block: int = 0,
+        max_reorg_depth: int = DEFAULT_MAX_REORG_DEPTH,
     ) -> None:
         self.node = node
         self.cursor = DatasetCursor(
@@ -49,6 +57,7 @@ class StreamingMonitor:
             marketplace_addresses,
             enforce_compliance=enforce_compliance,
             start_block=start_block,
+            max_reorg_depth=max_reorg_depth,
         )
         self.scheduler = DirtyTokenScheduler(
             self.cursor.store,
@@ -113,17 +122,26 @@ class StreamingMonitor:
 
     # -- driving -----------------------------------------------------------
     def advance(self, to_block: Optional[int] = None) -> MonitorSnapshot:
-        """Ingest blocks up to ``to_block`` (default: head) and re-detect."""
+        """Ingest blocks up to ``to_block`` (default: head) and re-detect.
+
+        If the cursor had to roll back a reorg first, the rolled-back
+        tokens (including tokens that vanished from the store entirely)
+        lead the dirty set, so the scheduler retracts their confirmed
+        activities before the canonical branch's confirmations are
+        diffed in.
+        """
         tick = self.cursor.advance(to_block)
-        dirty: List = list(tick.touched_nfts)
+        dirty: List = list(tick.rolled_back_nfts)
+        rolled_back = set(tick.rolled_back_nfts)
+        dirty.extend(nft for nft in tick.touched_nfts if nft not in rolled_back)
         if tick.touched_accounts:
-            touched_set = set(tick.touched_nfts)
-            extra = self.cursor.tokens_touching(tick.touched_accounts) - touched_set
+            covered = rolled_back | set(tick.touched_nfts)
+            extra = self.cursor.tokens_touching(tick.touched_accounts) - covered
             dirty.extend(sorted(extra, key=self.scheduler.order_of))
         report = self.scheduler.process(dirty, self.context)
 
         self.tick_count += 1
-        alerts = self._alerts_for(tick.to_block, report)
+        alerts = self._alerts_for(tick, report)
         snapshot = MonitorSnapshot(
             tick=self.tick_count,
             from_block=tick.from_block,
@@ -137,6 +155,8 @@ class StreamingMonitor:
             total_token_count=self.cursor.store.token_count,
             confirmed_activity_count=self.scheduler.confirmed_activity_count,
             flagged_nft_count=self.scheduler.flagged_nft_count,
+            reorg_depth=tick.reorg_depth,
+            rolled_back_transfer_count=tick.rolled_back_transfer_count,
             alerts=tuple(alerts),
         )
         self.alerts.extend(alerts)
@@ -154,28 +174,72 @@ class StreamingMonitor:
 
         Replays history tick by tick -- the harness used by the examples,
         the benchmark and the parity tests.  Returns every snapshot.
+
+        The head and target are re-read every iteration: a reorg rolling
+        the cursor back mid-run simply re-enters the loop and re-ingests
+        the canonical branch.  If the loop has nothing to scan at all, a
+        single explicit tick still runs -- the head may have diverged or
+        regressed *at or below* the cursor, and only a tick performs the
+        divergence check (a caught-up monitor on an untouched chain just
+        gets one empty snapshot).
         """
         if step_blocks < 1:
             raise ValueError("step_blocks must be >= 1")
-        # Clamp to the head: the cursor cannot advance past mined blocks,
-        # so an over-the-head target would otherwise loop on no-op ticks.
-        head = self.node.block_number
-        target = head if to_block is None else min(to_block, head)
         snapshots: List[MonitorSnapshot] = []
-        while self.cursor.next_block <= target:
+        while True:
+            # Clamp to the current head: the cursor cannot advance past
+            # mined blocks, so an over-the-head target would otherwise
+            # loop on no-op ticks.
+            head = self.node.block_number
+            target = head if to_block is None else min(to_block, head)
+            if self.cursor.next_block > target:
+                break
             upper = min(self.cursor.next_block + step_blocks - 1, target)
             snapshots.append(self.advance(upper))
+        if not snapshots:
+            snapshots.append(self.advance(to_block))
         return snapshots
 
     # -- internals ---------------------------------------------------------
-    def _alerts_for(self, block: int, report) -> List[Alert]:
-        """Turn one tick's state diff into the published alert stream."""
-        if not report.newly_confirmed:
+    def _alerts_for(self, tick: CursorTick, report: TickReport) -> List[Alert]:
+        """Turn one tick's state diff into the published alert stream.
+
+        Order within a tick: the REORG_DETECTED marker first (so
+        subscribers can attribute the burst), then every retraction,
+        then the confirmations with their NFT_FLAGGED / WATCHLIST_HIT
+        companions -- see :mod:`repro.stream.alerts` for the
+        retraction contract.
+        """
+        if not (report.newly_confirmed or report.retracted or tick.saw_reorg):
             return []
+        # Clamp to the head: a cursor parked above a regressed chain
+        # (future start_block) reports a processed_block with no block
+        # behind it.
+        block = min(self.cursor.processed_block, self.node.block_number)
         timestamp = self.node.get_block(block).timestamp if block >= 0 else 0
+        alerts: List[Alert] = []
+        if tick.saw_reorg:
+            alerts.append(
+                Alert(
+                    kind=AlertKind.REORG_DETECTED,
+                    block=block,
+                    timestamp=timestamp,
+                    reorg_depth=tick.reorg_depth,
+                    fork_block=tick.fork_block,
+                )
+            )
+        for activity in report.retracted:
+            alerts.append(
+                Alert(
+                    kind=AlertKind.ACTIVITY_RETRACTED,
+                    block=block,
+                    timestamp=timestamp,
+                    nft=activity.nft,
+                    activity=activity,
+                )
+            )
         newly_flagged = set(report.newly_flagged)
         flag_raised: Set = set()
-        alerts: List[Alert] = []
         for activity in report.newly_confirmed:
             alerts.append(
                 Alert(

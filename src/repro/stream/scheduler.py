@@ -66,8 +66,16 @@ class TickReport:
     newly_confirmed: List[WashTradingActivity] = field(default_factory=list)
     #: NFTs that gained their first confirmed activity this tick.
     newly_flagged: List[NFTKey] = field(default_factory=list)
-    #: Previously confirmed activities that no longer hold.
-    retracted_count: int = 0
+    #: Previously confirmed activities that no longer hold, in the same
+    #: deterministic token order.  An activity lands here when its
+    #: component dissolved (account lists changed, repeated-SCC pool
+    #: flipped off) or when a chain reorg rolled its transfers back.
+    retracted: List[WashTradingActivity] = field(default_factory=list)
+
+    @property
+    def retracted_count(self) -> int:
+        """Number of confirmed activities withdrawn this tick."""
+        return len(self.retracted)
 
 
 def _repeated_evidence(component: CandidateComponent) -> DetectionEvidence:
@@ -122,8 +130,11 @@ class DirtyTokenScheduler:
         self._contract_mask: FrozenSet[int] = frozenset()
 
         self.states: Dict[NFTKey, TokenState] = {}
-        #: First-seen position of each token; mirrors store order.
+        #: First-seen position of each token; mirrors store order.  A
+        #: monotone serial (never reused) so positions stay unique even
+        #: after reorg-vanished tokens are forgotten.
         self._token_order: Dict[NFTKey, int] = {}
+        self._order_serial = 0
         #: Multiset of account sets of base-confirmed activities.
         self._confirmed_pool: Counter = Counter()
         #: Account set -> tokens holding a base-unconfirmed candidate
@@ -151,24 +162,45 @@ class DirtyTokenScheduler:
     def process(
         self, dirty_tokens: Iterable[NFTKey], context: DetectionContext
     ) -> TickReport:
-        """Re-refine and re-detect the dirty tokens; diff the outcome."""
-        dirty = [nft for nft in dirty_tokens if nft in self.store.tokens]
+        """Re-refine and re-detect the dirty tokens; diff the outcome.
+
+        Dirty tokens no longer present in the store -- every one of
+        their transfers was rolled back by a chain reorg -- are *fully
+        retired*: their contribution to the repeated-SCC pool is undone,
+        their confirmed activities are retracted, and the scheduler
+        forgets them entirely, so a later canonical re-appearance is
+        processed like a brand-new token.
+        """
+        live: List[NFTKey] = []
+        vanished: List[NFTKey] = []
+        seen: Set[NFTKey] = set()
+        for nft in dirty_tokens:
+            if nft in seen:
+                continue
+            seen.add(nft)
+            if nft in self.store.tokens:
+                live.append(nft)
+            elif nft in self.states:
+                vanished.append(nft)
         report = TickReport()
-        if not dirty:
+        if not live and not vanished:
             return report
         self._refresh_masks()
 
         flipped_sets: Set[FrozenSet[str]] = set()
-        for nft in dirty:
+        for nft in vanished:
+            self._retire_state(nft, self.states.pop(nft), flipped_sets)
+        for nft in live:
             if nft not in self._token_order:
-                self._token_order[nft] = len(self._token_order)
+                self._token_order[nft] = self._order_serial
+                self._order_serial += 1
             old = self.states.get(nft)
             if old is not None:
                 self._retire_state(nft, old, flipped_sets)
             state = self._compute_state(nft, context)
             self._install_state(nft, state, flipped_sets)
 
-        affected = set(dirty)
+        affected = set(live) | set(vanished)
         if self._repeat_enabled:
             for account_set in flipped_sets:
                 affected |= self._unconfirmed_index.get(account_set, set())
@@ -180,13 +212,18 @@ class DirtyTokenScheduler:
             for key, activity in entries.items():
                 if key not in previous:
                     report.newly_confirmed.append(activity)
-            report.retracted_count += sum(
-                1 for key in previous if key not in entries
-            )
+            for key, activity in previous.items():
+                if key not in entries:
+                    report.retracted.append(activity)
             if entries and not previous:
                 report.newly_flagged.append(nft)
             self.confirmed_activity_count += len(entries) - len(previous)
-            self._confirmed[nft] = entries
+            if entries:
+                self._confirmed[nft] = entries
+            else:
+                self._confirmed.pop(nft, None)
+        for nft in vanished:
+            self._token_order.pop(nft, None)
         return report
 
     # -- final assembly ----------------------------------------------------

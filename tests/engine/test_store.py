@@ -157,6 +157,111 @@ class TestIncrementalAppend:
         assert store.transfer_count == 3
 
 
+class TestInPlaceRebuildAliasing:
+    """The out-of-order fallback must never strand a columns reference."""
+
+    def test_out_of_order_rebuild_mutates_in_place(self):
+        store = ColumnarTransferStore()
+        columns = store.add_token(NFT, [make_transfer("A", "B", 5)])
+        held = store.tokens[NFT]
+        assert held is columns
+        rebuilt = store.append_token_transfers(NFT, [make_transfer("B", "A", 1)])
+        # Same object: a caller holding the pre-rebuild reference keeps
+        # reading the current (re-sorted, two-row) columns.
+        assert rebuilt is held
+        assert store.tokens[NFT] is held
+        assert held.row_count == 2
+        assert [t.timestamp for t in held.transfers] == [1, 5]
+        assert list(held.timestamps) == [1, 5]
+        assert NFT in store.rebuilt_tokens
+
+    def test_in_order_append_does_not_mark_rebuilt(self):
+        store = ColumnarTransferStore()
+        store.add_token(NFT, [make_transfer("A", "B", 1)])
+        store.append_token_transfers(NFT, [make_transfer("B", "A", 2)])
+        assert NFT not in store.rebuilt_tokens
+
+
+class TestRollback:
+    def test_truncate_token_restores_watermark_state(self):
+        first = [make_transfer("A", "B", 1, price=5), make_transfer("B", "C", 2)]
+        second = [make_transfer("C", "A", 3), make_transfer("A", "D", 4)]
+        store = ColumnarTransferStore()
+        store.add_token(NFT, first)
+        columns = store.tokens[NFT]
+        watermark = columns.row_count
+        store.append_token_transfers(NFT, second)
+        removed = store.truncate_token(NFT, watermark)
+        assert removed == len(second)
+        assert store.tokens[NFT] is columns  # mutated in place
+        reference = ColumnarTransferStore.from_transfers({NFT: first})
+        assert list(columns.transfers) == list(reference.tokens[NFT].transfers)
+        assert list(columns.timestamps) == list(reference.tokens[NFT].timestamps)
+        assert columns.payment_flags == reference.tokens[NFT].payment_flags
+        assert store.addresses_of(columns.account_ids) == {"A", "B", "C"}
+
+    def test_truncate_interned_accounts_survive(self):
+        store = ColumnarTransferStore()
+        store.add_token(NFT, [make_transfer("A", "B", 1)])
+        store.append_token_transfers(NFT, [make_transfer("C", "D", 2)])
+        store.truncate_token(NFT, 1)
+        # Ids are append-only: "C"/"D" stay interned, rows just stop
+        # referencing them.
+        assert store.account_count == 4
+        assert store.addresses_of(store.tokens[NFT].account_ids) == {"A", "B"}
+
+    def test_truncate_to_zero_removes_token(self):
+        store = ColumnarTransferStore()
+        store.add_token(NFT, [make_transfer("A", "B", 1)])
+        assert store.truncate_token(NFT, 0) == 1
+        assert NFT not in store.tokens
+        assert store.token_count == 0
+
+    def test_truncate_refuses_rebuilt_tokens(self):
+        store = ColumnarTransferStore()
+        store.add_token(NFT, [make_transfer("A", "B", 5)])
+        store.append_token_transfers(NFT, [make_transfer("B", "A", 1)])
+        with pytest.raises(ValueError, match="rebuild_token"):
+            store.truncate_token(NFT, 1)
+
+    def test_truncate_validates_row_count(self):
+        store = ColumnarTransferStore()
+        store.add_token(NFT, [make_transfer("A", "B", 1)])
+        with pytest.raises(ValueError):
+            store.truncate_token(NFT, 2)
+        with pytest.raises(ValueError):
+            store.truncate_token(NFT, -1)
+        assert store.truncate_token(NFT, 1) == 0
+
+    def test_rebuild_token_recolumnarizes_and_clears_mark(self):
+        store = ColumnarTransferStore()
+        columns = store.add_token(NFT, [make_transfer("A", "B", 5)])
+        store.append_token_transfers(NFT, [make_transfer("B", "A", 1)])
+        assert NFT in store.rebuilt_tokens
+        surviving = [make_transfer("B", "A", 1)]
+        rebuilt = store.rebuild_token(NFT, surviving)
+        assert rebuilt is columns
+        assert rebuilt.row_count == 1
+        assert NFT not in store.rebuilt_tokens
+
+    def test_rebuild_token_with_nothing_left_removes_it(self):
+        store = ColumnarTransferStore()
+        store.add_token(NFT, [make_transfer("A", "B", 5)])
+        store.append_token_transfers(NFT, [make_transfer("B", "A", 1)])
+        assert store.rebuild_token(NFT, []) is None
+        assert NFT not in store.tokens
+        assert NFT not in store.rebuilt_tokens
+
+    def test_remove_token_forgets_everything(self):
+        store = ColumnarTransferStore()
+        store.add_token(NFT, [make_transfer("A", "B", 5)])
+        store.append_token_transfers(NFT, [make_transfer("B", "A", 1)])
+        store.remove_token(NFT)
+        assert NFT not in store.tokens
+        assert NFT not in store.rebuilt_tokens
+        store.remove_token(NFT)  # idempotent
+
+
 class TestTokenComponents:
     def build(self, transfers):
         store = ColumnarTransferStore.from_transfers({NFT: transfers})
