@@ -43,6 +43,14 @@ def pytest_addoption(parser):
             "(more rounds, deeper cuts) instead of the default smoke profile"
         ),
     )
+    parser.addoption(
+        "--smoke",
+        action="store_true",
+        help=(
+            "shrink the serving-load benchmark (bench_serve_load) to a "
+            "CI-sized workload: tiny world, fewer query repetitions"
+        ),
+    )
 
 
 @pytest.fixture
@@ -51,6 +59,28 @@ def reorg_profile(request):
     if request.config.getoption("--reorgs"):
         return {"rounds": 12, "depths": (1, 3, 8, 21, 55)}
     return {"rounds": 4, "depths": (2, 8, 21)}
+
+
+@pytest.fixture
+def serve_profile(request):
+    """Workload sizing for ``bench_serve_load`` (``--smoke`` shrinks it)."""
+    if request.config.getoption("--smoke"):
+        return {
+            "preset": SimulationConfig.tiny,
+            "aggregate_repeats": 6,
+            "point_queries": 40,
+            "query_threads": 2,
+            "reorg_every": 3,
+            "load_seconds": 0.4,
+        }
+    return {
+        "preset": SimulationConfig.small,
+        "aggregate_repeats": 12,
+        "point_queries": 120,
+        "query_threads": 4,
+        "reorg_every": 3,
+        "load_seconds": 1.5,
+    }
 
 
 def pytest_generate_tests(metafunc):

@@ -19,6 +19,10 @@ The package is organised in layers:
 * :mod:`repro.stream` -- the streaming monitor subsystem: incremental
   ingest following the chain head, dirty-token re-detection and a
   subscriber-facing alerting service (Sec. IX as a live watchdog).
+* :mod:`repro.serve` -- the query/serving subsystem over the monitor: a
+  versioned, snapshot-isolated read model, a concurrent wash-status
+  query API with dirty-token-keyed aggregate caching, and replayable
+  alert subscription cursors.
 * :mod:`repro.simulation` -- a seeded synthetic workload generator that
   plants ground-truth wash trading in a full synthetic world.
 * :mod:`repro.analysis` -- regenerates every table and figure of the
@@ -31,8 +35,9 @@ from repro.ingest import build_dataset
 from repro.core import WashTradingPipeline, PipelineResult
 from repro.analysis import PaperReport
 from repro.stream import DatasetCursor, StreamingMonitor
+from repro.serve import QueryService, ServeService
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Chain",
@@ -46,5 +51,7 @@ __all__ = [
     "PaperReport",
     "DatasetCursor",
     "StreamingMonitor",
+    "QueryService",
+    "ServeService",
     "__version__",
 ]

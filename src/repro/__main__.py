@@ -10,6 +10,11 @@ Two subcommands share the synthetic-world presets:
   streaming monitor subsystem (:mod:`repro.stream`), printing alerts as
   NFTs are flagged and a per-tick summary -- the paper's Sec. IX
   marketplace watchdog as a command.
+* ``serve`` runs the monitor loop and a threaded query front end
+  together (:mod:`repro.serve`): an ingest thread follows the chain
+  while query workers hammer the versioned wash-status API, then
+  reports throughput, cache efficiency and (with ``--verify``) full
+  serving parity against a batch build.
 """
 
 from __future__ import annotations
@@ -31,7 +36,7 @@ PRESETS = {
 }
 
 #: Recognized subcommands; a bare flag list falls through to ``run``.
-COMMANDS = ("run", "monitor")
+COMMANDS = ("run", "monitor", "serve")
 
 
 def _add_world_arguments(parser: argparse.ArgumentParser) -> None:
@@ -127,9 +132,89 @@ def build_monitor_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--bounded-memory",
+        action="store_true",
+        help=(
+            "drop raw scan matches once their blocks leave the rollback "
+            "journal (retention becomes O(journal) instead of O(chain); "
+            "detection state is unaffected)"
+        ),
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="print only the final summary line, not the alert stream",
+    )
+    return parser
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    """The ``serve`` (query service) command-line interface."""
+    from repro.stream import DEFAULT_MAX_REORG_DEPTH
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description=(
+            "Run the streaming monitor and a threaded wash-status query "
+            "front end together over a synthetic world: ingest follows the "
+            "chain while query workers exercise the versioned serving API."
+        ),
+    )
+    _add_world_arguments(parser)
+    parser.add_argument(
+        "--step-blocks",
+        type=int,
+        default=25,
+        help="blocks ingested per monitor tick (default: 25)",
+    )
+    parser.add_argument(
+        "--query-threads",
+        type=int,
+        default=4,
+        help="concurrent query worker threads (default: 4)",
+    )
+    parser.add_argument(
+        "--max-reorg-depth",
+        type=int,
+        default=DEFAULT_MAX_REORG_DEPTH,
+        metavar="BLOCKS",
+        help="rollback journal window passed to the monitor",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the dirty-token-keyed aggregate cache (recompute "
+        "every aggregate per query)",
+    )
+    parser.add_argument(
+        "--bounded-memory",
+        action="store_true",
+        help="run the ingest cursor with O(journal) scan-match retention",
+    )
+    parser.add_argument(
+        "--watch",
+        action="append",
+        default=[],
+        metavar="ACCOUNT",
+        help="watchlist an account address (repeatable)",
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help=(
+            "after ingest, check every query answer against a fresh batch "
+            "pipeline build (exit 2 on any mismatch)"
+        ),
+    )
+    parser.add_argument(
+        "--expect-confirmed",
+        action="store_true",
+        help="exit 1 unless the final confirmed activity set is non-empty",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="print only the final summary line",
     )
     return parser
 
@@ -178,7 +263,10 @@ def run_monitor(argv: Sequence[str]) -> int:
 
     world = build_default_world(config)
     monitor = StreamingMonitor.for_world(
-        world, watchlist=args.watch, max_reorg_depth=args.max_reorg_depth
+        world,
+        watchlist=args.watch,
+        max_reorg_depth=args.max_reorg_depth,
+        retain_scan_matches=not args.bounded_memory,
     )
 
     if not args.quiet:
@@ -227,6 +315,115 @@ def run_monitor(argv: Sequence[str]) -> int:
     return 0
 
 
+def run_serve(argv: Sequence[str]) -> int:
+    """The query-service subcommand: threaded ingest + query workers."""
+    from repro.serve import ServeService, serving_parity_mismatches
+    from repro.serve.load import LoadGenerator
+    from repro.core.detectors.pipeline import WashTradingPipeline
+    from repro.ingest.dataset import build_dataset
+    from repro.stream import StreamingMonitor
+
+    args = build_serve_parser().parse_args(argv)
+    config = PRESETS[args.preset]()
+    if args.seed is not None:
+        config.seed = args.seed
+
+    world = build_default_world(config)
+    monitor = StreamingMonitor.for_world(
+        world,
+        watchlist=args.watch,
+        max_reorg_depth=args.max_reorg_depth,
+        retain_scan_matches=not args.bounded_memory,
+    )
+    service = ServeService(monitor, use_cache=not args.no_cache)
+    query = service.query
+
+    # The workers run the same mixed workload the load benchmark
+    # measures (repro.serve.load), stopping when ingest is done.
+    generators = [
+        LoadGenerator(query, seed=1000 + slot, stop=service.done)
+        for slot in range(max(args.query_threads, 0))
+    ]
+
+    started = time.time()
+    service.start_background(step_blocks=args.step_blocks)
+    for generator in generators:
+        generator.thread.start()
+    try:
+        service.join()
+    except Exception as error:
+        for generator in generators:
+            generator.thread.join()
+        print(f"ingest failed: {error!r}", file=sys.stderr)
+        return 2
+    for generator in generators:
+        generator.thread.join()
+    elapsed = time.time() - started
+
+    final = query.version()
+    result = service.result()
+    score = world.ground_truth.match_against(result.washed_nfts())
+    total_queries = sum(generator.queries for generator in generators)
+    qps = total_queries / elapsed if elapsed > 0 else float("inf")
+    ticks = service.tick_latencies
+    status = 0
+
+    worker_errors = [
+        error for generator in generators for error in generator.errors
+    ]
+    if worker_errors:
+        print(f"query workers raised: {worker_errors[:3]}", file=sys.stderr)
+        status = 2
+    # The serve index applies ticks as an (isolated) monitor subscriber;
+    # a failure there leaves the read model stale, so it is a serving
+    # error even though the monitor itself kept going.
+    subscriber_errors = (
+        list(service.monitor.subscriber_errors) + service.index.subscriber_errors
+    )
+    if subscriber_errors:
+        print(
+            f"subscriber failures during ingest: {subscriber_errors[:3]}",
+            file=sys.stderr,
+        )
+        status = 2
+    if args.verify:
+        batch = WashTradingPipeline(
+            labels=world.labels, is_contract=world.is_contract, engine="columnar"
+        ).run(build_dataset(world.node, world.marketplace_addresses))
+        mismatches = serving_parity_mismatches(query, batch)
+        if mismatches:
+            for mismatch in mismatches:
+                print(f"parity mismatch: {mismatch}", file=sys.stderr)
+            status = 2
+        elif not args.quiet:
+            print("serving parity vs batch build: OK")
+    if args.expect_confirmed and final.confirmed_activity_count == 0:
+        print("expected a non-empty confirmed set", file=sys.stderr)
+        status = max(status, 1)
+
+    if not args.quiet and service.cache is not None:
+        stats = service.cache.stats
+        print(
+            f"aggregate cache: {stats.hits} hits / {stats.lookups} lookups "
+            f"({stats.hit_rate:.1%}), {stats.invalidated} invalidated"
+        )
+    tick_line = (
+        f"tick mean {sum(ticks) / len(ticks) * 1e3:.1f}ms "
+        f"max {max(ticks) * 1e3:.1f}ms"
+        if ticks
+        else "no ticks"
+    )
+    print(
+        f"\n[{args.preset}/serve] {final.version} versions to block "
+        f"{final.block}, {final.confirmed_activity_count} confirmed "
+        f"activities on {len(final.flagged_nfts)} NFTs, "
+        f"{total_queries} queries from {args.query_threads} threads "
+        f"({qps:,.0f} q/s), {tick_line}, recall {score.recall:.1%}, "
+        f"{elapsed:.1f}s"
+    )
+    return status
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Dispatch to a subcommand; bare flags run the batch reproduction."""
     argv = list(sys.argv[1:] if argv is None else argv)
@@ -235,6 +432,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         command, argv = argv[0], argv[1:]
     if command == "monitor":
         return run_monitor(argv)
+    if command == "serve":
+        return run_serve(argv)
     return run_batch(argv)
 
 

@@ -28,11 +28,16 @@ class TransferScanResult:
     matches: List[Tuple[Transaction, Log]] = field(default_factory=list)
     #: Addresses of the contracts that emitted at least one matching log.
     emitting_contracts: Set[str] = field(default_factory=set)
+    #: Matches dropped from ``matches`` by a bounded-memory consumer
+    #: (the streaming cursor's ``retain_scan_matches=False`` mode) after
+    #: their rows became permanent.  Counted so ``event_count`` stays the
+    #: true scan total even when the raw pairs are no longer held.
+    pruned_count: int = 0
 
     @property
     def event_count(self) -> int:
         """Number of ERC-721-shaped Transfer events found."""
-        return len(self.matches)
+        return len(self.matches) + self.pruned_count
 
     @property
     def contract_count(self) -> int:

@@ -1,0 +1,69 @@
+"""Query/serving subsystem: a concurrent wash-status API over the monitor.
+
+The streaming monitor (:mod:`repro.stream`) keeps detection continuously
+current; this package is its *read path* -- the part a marketplace or a
+wallet actually calls.  Four pieces:
+
+* :mod:`repro.serve.index` -- :class:`ServeIndex`, a versioned read
+  model rebuilt incrementally from each monitor tick.  Every tick
+  publishes a new immutable :class:`~repro.serve.model.ServeVersion`;
+  reorg retractions publish a *revision* and never mutate a served
+  snapshot, so queries get snapshot isolation without locks.
+* :mod:`repro.serve.query` -- :class:`QueryService`: point lookups
+  (``token_status``, ``account_profile``), filtered paginated listings
+  (``list_confirmed``), cached aggregates (collection / marketplace
+  rollups, live funnel statistics) and replayable subscription cursors
+  keyed by alert sequence number.
+* :mod:`repro.serve.cache` -- :class:`AggregateCache`, a result cache
+  for the expensive aggregates invalidated *precisely* by the
+  scheduler's per-tick dirty-token set instead of wholesale.
+* :mod:`repro.serve.service` -- :class:`ServeService`, the facade that
+  runs monitor ingest (inline or on a background thread) and the query
+  front end together; ``python -m repro serve`` is its CLI.
+
+Parity bar (pinned by ``tests/serve`` and
+``benchmarks/bench_serve_load.py``): at every published version --
+including mid-reorg-storm -- every query answer equals a fresh batch
+``WashTradingPipeline(engine="columnar")`` build over the same chain
+prefix; :func:`~repro.serve.parity.serving_parity_mismatches` is the
+self-check.
+"""
+
+from repro.serve.cache import AggregateCache, CacheStats
+from repro.serve.index import ServeIndex
+from repro.serve.load import LoadGenerator
+from repro.serve.model import (
+    AccountProfile,
+    ActivityRecord,
+    CollectionRollup,
+    FunnelSnapshot,
+    MarketplaceRollup,
+    OFF_MARKET,
+    ServeVersion,
+    TokenStatus,
+    record_key,
+)
+from repro.serve.parity import serving_parity_mismatches
+from repro.serve.query import AlertReplayCursor, ConfirmedPage, QueryService
+from repro.serve.service import ServeService
+
+__all__ = [
+    "AccountProfile",
+    "ActivityRecord",
+    "AggregateCache",
+    "AlertReplayCursor",
+    "CacheStats",
+    "CollectionRollup",
+    "ConfirmedPage",
+    "FunnelSnapshot",
+    "LoadGenerator",
+    "MarketplaceRollup",
+    "OFF_MARKET",
+    "QueryService",
+    "ServeIndex",
+    "ServeService",
+    "ServeVersion",
+    "TokenStatus",
+    "record_key",
+    "serving_parity_mismatches",
+]

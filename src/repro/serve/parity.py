@@ -1,0 +1,184 @@
+"""Serving-parity self-check: every query answer vs a batch build.
+
+The acceptance bar of the serving layer mirrors the streaming stack's:
+at every published version, every :class:`~repro.serve.query.QueryService`
+answer must equal what a fresh batch
+``WashTradingPipeline(engine="columnar")`` build over the same chain
+prefix would say.  :func:`serving_parity_mismatches` walks the whole
+query surface -- the confirmed listing (including its pagination),
+point lookups, account profiles, funnel statistics and both rollup
+families -- and returns a human-readable description of every
+divergence (empty list = parity).  Shared by ``tests/serve`` and
+``benchmarks/bench_serve_load.py``, and exposed to operators through
+``python -m repro serve --verify``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.activity import WashTradingActivity
+from repro.core.detectors.pipeline import PipelineResult
+from repro.serve.model import OFF_MARKET, ServeVersion
+from repro.serve.query import QueryService
+
+
+def activity_fingerprint(activity: WashTradingActivity) -> Tuple:
+    """Full value identity of one activity (evidence details included)."""
+    return (
+        activity.nft.contract,
+        activity.nft.token_id,
+        tuple(sorted(activity.accounts)),
+        tuple(sorted(method.value for method in activity.methods)),
+        tuple(sorted(t.tx_hash for t in activity.component.transfers)),
+        tuple(
+            sorted(
+                repr(sorted(evidence.details.items()))
+                for evidence in activity.evidence
+            )
+        ),
+    )
+
+
+def _venue_of(activity: WashTradingActivity) -> str:
+    venue = activity.component.dominant_marketplace()
+    return venue if venue is not None else OFF_MARKET
+
+
+def serving_parity_mismatches(
+    query: QueryService,
+    batch: PipelineResult,
+    version: Optional[ServeVersion] = None,
+    page_size: int = 7,
+) -> List[str]:
+    """Compare every query family against a batch result; [] = parity."""
+    pinned = version or query.version()
+    problems: List[str] = []
+
+    # -- confirmed listing (value-identical activities) --------------------
+    served = sorted(activity_fingerprint(r.activity) for r in pinned.confirmed)
+    reference = sorted(activity_fingerprint(a) for a in batch.activities)
+    if served != reference:
+        problems.append(
+            f"confirmed set diverges: served {len(served)} activities, "
+            f"batch {len(reference)}"
+        )
+
+    # -- pagination must cover the listing exactly once --------------------
+    seen_keys: List[Tuple] = []
+    cursor = None
+    while True:
+        page = query.list_confirmed(
+            limit=page_size, cursor=cursor, version=pinned
+        )
+        seen_keys.extend(record.key for record in page.records)
+        if page.next_cursor is None:
+            break
+        cursor = page.next_cursor
+    full_keys = [record.key for record in pinned.confirmed]
+    if seen_keys != full_keys:
+        problems.append(
+            f"pagination diverges: pages yielded {len(seen_keys)} records, "
+            f"listing holds {len(full_keys)}"
+        )
+
+    # -- flagged set and per-token statuses --------------------------------
+    washed = batch.washed_nfts()
+    if pinned.flagged_nfts != washed:
+        problems.append(
+            f"flagged set diverges: served {len(pinned.flagged_nfts)}, "
+            f"batch {len(washed)}"
+        )
+    batch_by_nft: Dict = {}
+    for activity in batch.activities:
+        batch_by_nft.setdefault(activity.nft, []).append(activity)
+    for nft, activities in batch_by_nft.items():
+        status = query.token_status(nft, version=pinned)
+        if status.activity_count != len(activities):
+            problems.append(
+                f"token {nft}: served {status.activity_count} activities, "
+                f"batch {len(activities)}"
+            )
+            continue
+        methods = frozenset().union(*(a.methods for a in activities))
+        if status.methods != methods:
+            problems.append(f"token {nft}: method set diverges")
+        if status.volume_wei != sum(a.volume_wei for a in activities):
+            problems.append(f"token {nft}: volume diverges")
+
+    # -- account profiles ---------------------------------------------------
+    batch_by_account: Dict[str, List[WashTradingActivity]] = {}
+    for activity in batch.activities:
+        for account in activity.accounts:
+            batch_by_account.setdefault(account, []).append(activity)
+    served_accounts: Set[str] = set(pinned.account_profiles)
+    if served_accounts != set(batch_by_account):
+        problems.append(
+            f"implicated accounts diverge: served {len(served_accounts)}, "
+            f"batch {len(batch_by_account)}"
+        )
+    for account, activities in batch_by_account.items():
+        profile = query.account_profile(account, version=pinned)
+        if profile.activity_count != len(activities):
+            problems.append(
+                f"account {account}: served {profile.activity_count} "
+                f"activities, batch {len(activities)}"
+            )
+        elif profile.volume_wei != sum(a.volume_wei for a in activities):
+            problems.append(f"account {account}: volume diverges")
+
+    # -- funnel statistics --------------------------------------------------
+    funnel = query.funnel_stats(version=pinned)
+    if list(funnel.stages) != list(batch.refinement.stages):
+        problems.append("funnel stages diverge from batch refinement")
+    if funnel.candidate_count != batch.candidate_count:
+        problems.append(
+            f"candidate count diverges: served {funnel.candidate_count}, "
+            f"batch {batch.candidate_count}"
+        )
+
+    # -- collection rollups -------------------------------------------------
+    batch_by_contract: Dict[str, List[WashTradingActivity]] = {}
+    for activity in batch.activities:
+        batch_by_contract.setdefault(activity.nft.contract, []).append(activity)
+    for contract in query.collections(version=pinned):
+        rollup = query.collection_rollup(contract, version=pinned)
+        activities = batch_by_contract.get(contract, [])
+        if rollup.activity_count != len(activities):
+            problems.append(
+                f"collection {contract}: served {rollup.activity_count} "
+                f"activities, batch {len(activities)}"
+            )
+            continue
+        if rollup.volume_wei != sum(a.volume_wei for a in activities):
+            problems.append(f"collection {contract}: volume diverges")
+        if rollup.flagged_token_count != len({a.nft for a in activities}):
+            problems.append(f"collection {contract}: flagged count diverges")
+        methods = Counter()
+        for activity in activities:
+            methods.update(activity.methods)
+        if dict(methods) != dict(rollup.method_counts):
+            problems.append(f"collection {contract}: method counts diverge")
+
+    # -- marketplace rollups ------------------------------------------------
+    batch_by_venue: Dict[str, List[WashTradingActivity]] = {}
+    for activity in batch.activities:
+        batch_by_venue.setdefault(_venue_of(activity), []).append(activity)
+    served_venues = set(query.venues(version=pinned))
+    if served_venues != set(batch_by_venue):
+        problems.append(
+            f"venue set diverges: served {sorted(served_venues)}, "
+            f"batch {sorted(batch_by_venue)}"
+        )
+    for venue, activities in batch_by_venue.items():
+        rollup = query.marketplace_rollup(venue, version=pinned)
+        if rollup.activity_count != len(activities):
+            problems.append(
+                f"venue {venue}: served {rollup.activity_count} activities, "
+                f"batch {len(activities)}"
+            )
+        elif rollup.volume_wei != sum(a.volume_wei for a in activities):
+            problems.append(f"venue {venue}: volume diverges")
+
+    return problems

@@ -1,0 +1,154 @@
+"""The serving facade: monitor ingest plus a concurrent query front end.
+
+:class:`ServeService` wires the four serving pieces together -- a
+:class:`~repro.stream.StreamingMonitor`, the versioned
+:class:`~repro.serve.index.ServeIndex`, the dirty-token-keyed
+:class:`~repro.serve.cache.AggregateCache` and the
+:class:`~repro.serve.query.QueryService` -- and can drive the monitor
+either inline (:meth:`advance` / :meth:`run`, the deterministic path
+tests and benchmarks use) or on a background ingest thread
+(:meth:`start_background`, the ``python -m repro serve`` path) while
+any number of reader threads query concurrently.
+
+Threading model: exactly one writer (whichever thread drives the
+monitor) mutates state; every read answers from an immutable published
+version, so readers never block the writer and never see a half-applied
+tick.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional
+
+from repro.core.detectors.pipeline import PipelineResult
+from repro.serve.cache import AggregateCache
+from repro.serve.index import ServeIndex
+from repro.serve.model import ServeVersion
+from repro.serve.query import QueryService
+from repro.stream.monitor import StreamingMonitor
+
+
+class ServeService:
+    """Owns one monitor and serves queries over its versioned state."""
+
+    def __init__(self, monitor: StreamingMonitor, use_cache: bool = True) -> None:
+        self.monitor = monitor
+        self.cache: Optional[AggregateCache] = AggregateCache() if use_cache else None
+        self.index = ServeIndex(monitor, cache=self.cache)
+        self.query = QueryService(self.index, cache=self.cache)
+        #: Per-tick wall-clock latencies of background ingest, seconds.
+        self.tick_latencies: List[float] = []
+        #: Set when the background ingest loop has finished (caught up,
+        #: reached its target, was stopped -- or crashed; see
+        #: ``ingest_error``).
+        self.done = threading.Event()
+        #: The exception that killed the background ingest loop, if any.
+        #: ``join()`` re-raises it so a crash can never masquerade as a
+        #: clean completion.
+        self.ingest_error: Optional[BaseException] = None
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    @classmethod
+    def for_world(
+        cls, world, use_cache: bool = True, **monitor_kwargs
+    ) -> "ServeService":
+        """Build a service over a simulated world's handles."""
+        return cls(
+            StreamingMonitor.for_world(world, **monitor_kwargs),
+            use_cache=use_cache,
+        )
+
+    # -- inline driving ----------------------------------------------------
+    def advance(self, to_block: Optional[int] = None) -> ServeVersion:
+        """One monitor tick; returns the version it published."""
+        self.monitor.advance(to_block)
+        return self.index.current
+
+    def run(
+        self, to_block: Optional[int] = None, step_blocks: int = 25
+    ) -> ServeVersion:
+        """Follow the chain inline to ``to_block`` (default: head)."""
+        self.monitor.run(to_block=to_block, step_blocks=step_blocks)
+        return self.index.current
+
+    # -- background driving ------------------------------------------------
+    def start_background(
+        self,
+        to_block: Optional[int] = None,
+        step_blocks: int = 25,
+        tick_delay: float = 0.0,
+    ) -> threading.Thread:
+        """Drive the monitor on a daemon thread; readers query meanwhile.
+
+        Mirrors :meth:`StreamingMonitor.run` (including the final
+        explicit tick that performs the divergence check when there is
+        nothing to scan), with a stop flag checked between ticks and an
+        optional per-tick delay to shape ingest cadence.  ``done`` is
+        set when the loop exits for any reason.
+        """
+        if self._thread is not None:
+            raise RuntimeError("background ingest already started")
+        if step_blocks < 1:
+            raise ValueError("step_blocks must be >= 1")
+
+        def drive() -> None:
+            try:
+                ticked = False
+                while not self._stop.is_set():
+                    head = self.monitor.node.block_number
+                    target = head if to_block is None else min(to_block, head)
+                    if self.monitor.cursor.next_block > target:
+                        break
+                    upper = min(
+                        self.monitor.cursor.next_block + step_blocks - 1, target
+                    )
+                    started = time.perf_counter()
+                    self.monitor.advance(upper)
+                    self.tick_latencies.append(time.perf_counter() - started)
+                    ticked = True
+                    if tick_delay:
+                        time.sleep(tick_delay)
+                if not ticked and not self._stop.is_set():
+                    started = time.perf_counter()
+                    self.monitor.advance(to_block)
+                    self.tick_latencies.append(time.perf_counter() - started)
+            except BaseException as error:  # noqa: BLE001 - re-raised by join
+                self.ingest_error = error
+            finally:
+                self.done.set()
+
+        self._thread = threading.Thread(
+            target=drive, name="serve-ingest", daemon=True
+        )
+        self._thread.start()
+        return self._thread
+
+    def stop(self, timeout: Optional[float] = None) -> None:
+        """Ask the ingest loop to exit and join it.
+
+        Unlike :meth:`join`, a crash that happened before the stop is
+        still surfaced -- the stored ``ingest_error`` is re-raised.
+        """
+        self._stop.set()
+        self.join(timeout)
+
+    def join(self, timeout: Optional[float] = None) -> bool:
+        """Wait for background ingest to finish; True when it did.
+
+        Re-raises the exception that killed the ingest thread, if any --
+        a crashed ingest must never look like a clean completion.
+        """
+        if self._thread is not None:
+            self._thread.join(timeout)
+            if self.ingest_error is not None:
+                raise self.ingest_error
+            return not self._thread.is_alive()
+        return True
+
+    # -- passthroughs ------------------------------------------------------
+    def result(self) -> PipelineResult:
+        """The batch-identical pipeline result as of the processed block."""
+        return self.monitor.result()

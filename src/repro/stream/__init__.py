@@ -30,7 +30,7 @@ from repro.stream.cursor import (
     DatasetCursor,
     ReorgTooDeepError,
 )
-from repro.stream.monitor import StreamingMonitor
+from repro.stream.monitor import StreamingMonitor, SubscriberError
 from repro.stream.scheduler import DirtyTokenScheduler, TickReport
 
 __all__ = [
@@ -44,5 +44,6 @@ __all__ = [
     "MonitorSnapshot",
     "ReorgTooDeepError",
     "StreamingMonitor",
+    "SubscriberError",
     "TickReport",
 ]

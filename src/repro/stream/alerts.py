@@ -37,6 +37,17 @@ subscribers can rely on:
 Alerts that were already delivered are never rewritten or deleted:
 ``monitor.alerts`` is an append-only stream, and the current truth is
 always the confirmations minus the retractions.
+
+Alert sequence numbers
+----------------------
+
+Every alert carries a monitor-assigned ``seq``: a gapless counter equal
+to the alert's position in ``monitor.alerts``.  Sequence numbers are the
+replay contract of the serving layer (:mod:`repro.serve`): a consumer
+that remembers the last ``seq`` it processed can ask for everything
+after it and is guaranteed to see every ``ACTIVITY_RETRACTED`` revision
+it missed, in publication order -- late joiners catch up without
+re-reading the whole stream.
 """
 
 from __future__ import annotations
@@ -90,6 +101,10 @@ class Alert:
     #: Deepest block that survived the rollback (REORG_DETECTED only;
     #: -1 when the monitor's entire ingested history diverged).
     fork_block: int = -1
+    #: Gapless publication counter assigned by the monitor -- equal to
+    #: this alert's index in ``monitor.alerts``.  The replay cursor key
+    #: of the serving layer (-1 only for alerts built outside a monitor).
+    seq: int = -1
 
     @property
     def accounts(self) -> FrozenSet[str]:
@@ -146,6 +161,12 @@ class MonitorSnapshot:
     rolled_back_transfer_count: int = 0
     #: Alerts raised this tick.
     alerts: Tuple[Alert, ...] = field(default_factory=tuple)
+    #: Exactly the tokens the scheduler reprocessed this tick (touched,
+    #: rolled back, or flipped by the repeated-SCC pool), in
+    #: deterministic token order.  ``len(dirty_nfts) ==
+    #: dirty_token_count``; the serving layer keys its aggregate-cache
+    #: invalidation on this set.
+    dirty_nfts: Tuple[NFTKey, ...] = field(default_factory=tuple)
 
     @property
     def is_empty(self) -> bool:

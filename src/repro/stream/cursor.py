@@ -234,11 +234,20 @@ class DatasetCursor:
         enforce_compliance: bool = True,
         start_block: int = 0,
         max_reorg_depth: int = DEFAULT_MAX_REORG_DEPTH,
+        retain_scan_matches: bool = True,
     ) -> None:
         self.node = node
         self.marketplace_addresses = dict(marketplace_addresses)
         self.enforce_compliance = enforce_compliance
         self.max_reorg_depth = max(max_reorg_depth, 0)
+        #: Bounded-memory mode: when False, raw (transaction, log) scan
+        #: matches are dropped as soon as their blocks fall out of the
+        #: rollback journal -- they exist only for batch-view parity of
+        #: :meth:`as_dataset`, and everything detection reads (store,
+        #: transfer lists, account histories) is retained in full.  The
+        #: retained match list then stays O(journal), not O(chain);
+        #: ``scan.event_count`` remains exact via ``scan.pruned_count``.
+        self.retain_scan_matches = retain_scan_matches
         self._venue_by_address = build_reverse_index(marketplace_addresses)
         #: Next block to ingest; everything below has been processed.
         self.next_block = max(start_block, 0)
@@ -409,6 +418,8 @@ class DatasetCursor:
         retain = self.max_reorg_depth + 1
         if len(self._journal) > retain:
             del self._journal[: len(self._journal) - retain]
+        if not self.retain_scan_matches:
+            self._prune_scan_matches()
         self.next_block = stop + 1
         self._pending_rollback = None
 
@@ -427,6 +438,21 @@ class DatasetCursor:
             rolled_back_transfer_count=rollback.transfer_count,
             rolled_back_nfts=rollback.nfts,
         )
+
+    def _prune_scan_matches(self) -> None:
+        """Drop scan matches whose blocks left the rollback journal.
+
+        Matches are block-ordered across ticks and rollbacks only ever
+        remove journaled tails, so everything before the journaled span
+        is permanent -- a rollback can never need it again.  Keeping the
+        list trimmed to the journal's own match span bounds the raw
+        match retention at O(journal) regardless of chain length.
+        """
+        retained = sum(entry.match_count for entry in self._journal)
+        drop = len(self.scan.matches) - retained
+        if drop > 0:
+            del self.scan.matches[:drop]
+            self.scan.pruned_count += drop
 
     # -- reorg handling ----------------------------------------------------
     def _detect_divergence_and_rollback(self, head: int) -> _RollbackResult:

@@ -20,7 +20,8 @@ against the *final canonical chain* -- see
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Mapping, Optional, Set
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Mapping, Optional, Set, Union
 
 from repro.chain.node import EthereumNode
 from repro.core.activity import DetectionMethod
@@ -33,6 +34,23 @@ from repro.stream.scheduler import DirtyTokenScheduler, TickReport
 
 AlertCallback = Callable[[Alert], None]
 SnapshotCallback = Callable[[MonitorSnapshot], None]
+
+
+@dataclass(frozen=True)
+class SubscriberError:
+    """One subscriber callback failure, isolated from the tick.
+
+    A raising subscriber must never abort the monitor tick or starve the
+    subscribers after it: the tick's state transition is already
+    committed when callbacks run, so the failure is *theirs*, not the
+    monitor's.  The error is recorded here (and handed to the monitor's
+    ``on_subscriber_error`` hook, if any) instead of propagating.
+    """
+
+    callback: Callable
+    #: The alert or snapshot being delivered when the callback raised.
+    event: Union[Alert, MonitorSnapshot]
+    error: BaseException
 
 
 class StreamingMonitor:
@@ -50,6 +68,8 @@ class StreamingMonitor:
         enforce_compliance: bool = True,
         start_block: int = 0,
         max_reorg_depth: int = DEFAULT_MAX_REORG_DEPTH,
+        retain_scan_matches: bool = True,
+        on_subscriber_error: Optional[Callable[[SubscriberError], None]] = None,
     ) -> None:
         self.node = node
         self.cursor = DatasetCursor(
@@ -58,6 +78,7 @@ class StreamingMonitor:
             enforce_compliance=enforce_compliance,
             start_block=start_block,
             max_reorg_depth=max_reorg_depth,
+            retain_scan_matches=retain_scan_matches,
         )
         self.scheduler = DirtyTokenScheduler(
             self.cursor.store,
@@ -76,6 +97,9 @@ class StreamingMonitor:
         self.watchlist: Set[str] = set(watchlist or ())
         self.tick_count = 0
         self.alerts: List[Alert] = []
+        #: Subscriber failures, in delivery order (see SubscriberError).
+        self.subscriber_errors: List[SubscriberError] = []
+        self._on_subscriber_error = on_subscriber_error
         self._alert_subscribers: List[AlertCallback] = []
         self._snapshot_subscribers: List[SnapshotCallback] = []
 
@@ -110,6 +134,11 @@ class StreamingMonitor:
     def processed_block(self) -> int:
         """Highest chain block the monitor has ingested (-1 initially)."""
         return self.cursor.processed_block
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next published alert will carry."""
+        return len(self.alerts)
 
     @property
     def flagged_nfts(self):
@@ -158,14 +187,35 @@ class StreamingMonitor:
             reorg_depth=tick.reorg_depth,
             rolled_back_transfer_count=tick.rolled_back_transfer_count,
             alerts=tuple(alerts),
+            dirty_nfts=report.dirty_nfts,
         )
         self.alerts.extend(alerts)
         for alert in alerts:
             for callback in self._alert_subscribers:
-                callback(alert)
+                self._deliver(callback, alert)
         for callback in self._snapshot_subscribers:
-            callback(snapshot)
+            self._deliver(callback, snapshot)
         return snapshot
+
+    def _deliver(self, callback, event) -> None:
+        """Deliver one event to one subscriber, isolating failures.
+
+        The tick is already committed when subscribers run; a raising
+        callback is recorded (and reported through the
+        ``on_subscriber_error`` hook) without aborting the tick or
+        skipping the subscribers after it.
+        """
+        try:
+            callback(event)
+        except Exception as error:  # noqa: BLE001 -- isolation is the point
+            record = SubscriberError(callback=callback, event=event, error=error)
+            self.subscriber_errors.append(record)
+            handler = self._on_subscriber_error
+            if handler is not None:
+                try:
+                    handler(record)
+                except Exception:  # a broken error handler cannot break ticks
+                    pass
 
     def run(
         self, to_block: Optional[int] = None, step_blocks: int = 1
@@ -217,6 +267,9 @@ class StreamingMonitor:
         # behind it.
         block = min(self.cursor.processed_block, self.node.block_number)
         timestamp = self.node.get_block(block).timestamp if block >= 0 else 0
+        # Sequence numbers are gapless and equal each alert's position in
+        # the append-only self.alerts stream (the serve-layer replay key).
+        base_seq = len(self.alerts)
         alerts: List[Alert] = []
         if tick.saw_reorg:
             alerts.append(
@@ -226,6 +279,7 @@ class StreamingMonitor:
                     timestamp=timestamp,
                     reorg_depth=tick.reorg_depth,
                     fork_block=tick.fork_block,
+                    seq=base_seq + len(alerts),
                 )
             )
         for activity in report.retracted:
@@ -236,6 +290,7 @@ class StreamingMonitor:
                     timestamp=timestamp,
                     nft=activity.nft,
                     activity=activity,
+                    seq=base_seq + len(alerts),
                 )
             )
         newly_flagged = set(report.newly_flagged)
@@ -248,6 +303,7 @@ class StreamingMonitor:
                     timestamp=timestamp,
                     nft=activity.nft,
                     activity=activity,
+                    seq=base_seq + len(alerts),
                 )
             )
             if activity.nft in newly_flagged and activity.nft not in flag_raised:
@@ -259,6 +315,7 @@ class StreamingMonitor:
                         timestamp=timestamp,
                         nft=activity.nft,
                         activity=activity,
+                        seq=base_seq + len(alerts),
                     )
                 )
             watched = frozenset(activity.accounts & self.watchlist)
@@ -271,6 +328,7 @@ class StreamingMonitor:
                         nft=activity.nft,
                         activity=activity,
                         watched_accounts=watched,
+                        seq=base_seq + len(alerts),
                     )
                 )
         return alerts

@@ -62,6 +62,9 @@ class TickReport:
 
     #: Tokens actually reprocessed (dirty + repeated-SCC flips).
     dirty_token_count: int = 0
+    #: The same tokens by key, in deterministic (first-seen) order --
+    #: the precise invalidation set for downstream result caches.
+    dirty_nfts: Tuple[NFTKey, ...] = ()
     #: Activities confirmed this tick, in deterministic token order.
     newly_confirmed: List[WashTradingActivity] = field(default_factory=list)
     #: NFTs that gained their first confirmed activity this tick.
@@ -158,6 +161,20 @@ class DirtyTokenScheduler:
         """First-seen position of a known token (mirrors store order)."""
         return self._token_order[nft]
 
+    def confirmed_activities(
+        self, nft: NFTKey
+    ) -> Dict[ActivityKey, WashTradingActivity]:
+        """The token's currently confirmed activities, keyed by identity.
+
+        The read-model hook of the serving layer: after a tick, the
+        entries of every dirty token are exactly current -- including
+        activities whose *evidence* evolved without the identity
+        changing, which the alert stream deliberately does not
+        re-announce.  Returns a copy; mutating it never touches
+        scheduler state.
+        """
+        return dict(self._confirmed.get(nft, ()))
+
     # -- tick processing ---------------------------------------------------
     def process(
         self, dirty_tokens: Iterable[NFTKey], context: DetectionContext
@@ -204,9 +221,11 @@ class DirtyTokenScheduler:
         if self._repeat_enabled:
             for account_set in flipped_sets:
                 affected |= self._unconfirmed_index.get(account_set, set())
-        report.dirty_token_count = len(affected)
+        ordered_affected = sorted(affected, key=self._token_order.__getitem__)
+        report.dirty_token_count = len(ordered_affected)
+        report.dirty_nfts = tuple(ordered_affected)
 
-        for nft in sorted(affected, key=self._token_order.__getitem__):
+        for nft in ordered_affected:
             entries = self._confirmed_entries(nft)
             previous = self._confirmed.get(nft, {})
             for key, activity in entries.items():

@@ -1,0 +1,320 @@
+"""Behavioural tests of the serving layer's read model and query API.
+
+Serving parity (every answer vs a batch build) is the acceptance bar;
+on top of it this file pins the version/snapshot contract, pagination
+and filter semantics, replay cursors, the aggregate cache's precise
+invalidation, and the late-attach bootstrap.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain.types import NFTKey
+from repro.core.activity import DetectionMethod
+from repro.core.detectors.pipeline import WashTradingPipeline
+from repro.ingest.dataset import build_dataset
+from repro.serve import (
+    AggregateCache,
+    ServeIndex,
+    ServeService,
+    serving_parity_mismatches,
+)
+from repro.serve.cache import FUNNEL_SCOPE, collection_scope, venue_scope
+from repro.serve.query import QueryService
+from repro.stream import StreamingMonitor
+
+
+@pytest.fixture(scope="module")
+def tiny_columnar_batch(tiny_world):
+    dataset = build_dataset(tiny_world.node, tiny_world.marketplace_addresses)
+    result = WashTradingPipeline(
+        labels=tiny_world.labels,
+        is_contract=tiny_world.is_contract,
+        engine="columnar",
+    ).run(dataset)
+    return result
+
+
+@pytest.fixture(scope="module")
+def served(tiny_world):
+    """A service fully driven over the tiny world."""
+    service = ServeService.for_world(tiny_world)
+    service.run(step_blocks=29)
+    return service
+
+
+class TestVersions:
+    def test_version_zero_is_empty(self, tiny_world):
+        service = ServeService.for_world(tiny_world)
+        version = service.query.version()
+        assert version.version == 0
+        assert version.block == -1
+        assert version.last_seq == -1
+        assert version.confirmed == ()
+        assert version.flagged_nfts == frozenset()
+        assert not version.is_revision
+
+    def test_versions_are_monotone_and_tick_aligned(self, tiny_world):
+        service = ServeService.for_world(tiny_world)
+        versions = []
+        service.index.subscribe_versions(versions.append)
+        service.run(step_blocks=50)
+        numbers = [version.version for version in versions]
+        assert numbers == sorted(numbers)
+        assert len(set(numbers)) == len(numbers)
+        assert numbers[-1] == service.monitor.tick_count
+
+    def test_published_version_is_immutable_under_later_ticks(self, tiny_world):
+        service = ServeService.for_world(tiny_world)
+        head = tiny_world.node.block_number
+        pinned = service.advance(head // 2)
+        confirmed_then = pinned.confirmed
+        flagged_then = set(pinned.token_status)
+        service.run(step_blocks=29)
+        # The pinned version still answers exactly as it did.
+        assert pinned.confirmed is confirmed_then
+        assert set(pinned.token_status) == flagged_then
+        assert service.query.version().confirmed_activity_count >= len(
+            confirmed_then
+        )
+
+    def test_full_serving_parity(self, served, tiny_columnar_batch):
+        assert serving_parity_mismatches(served.query, tiny_columnar_batch) == []
+
+    def test_poison_version_subscriber_is_isolated(self, tiny_world):
+        """A raising version callback must not starve later subscribers."""
+        service = ServeService.for_world(tiny_world)
+        received = []
+
+        def poison(version):
+            raise RuntimeError("version subscriber exploded")
+
+        service.index.subscribe_versions(poison)
+        service.index.subscribe_versions(received.append)
+        service.run(step_blocks=50)
+        assert [v.version for v in received] == list(
+            range(1, service.monitor.tick_count + 1)
+        )
+        assert service.index.subscriber_errors
+        callback, version, error = service.index.subscriber_errors[0]
+        assert callback is poison and isinstance(error, RuntimeError)
+        # The monitor never saw the failure -- the index isolated it.
+        assert service.monitor.subscriber_errors == []
+
+    def test_late_attach_bootstrap(self, tiny_world, tiny_columnar_batch):
+        """An index attached mid-follow adopts existing state and alerts."""
+        monitor = StreamingMonitor.for_world(tiny_world)
+        head = tiny_world.node.block_number
+        monitor.run(to_block=head // 2, step_blocks=29)
+        index = ServeIndex(monitor)
+        assert index.current.version == monitor.tick_count
+        assert index.current.flagged_nfts == monitor.scheduler.flagged_nfts
+        assert index.current.confirmed_activity_count == (
+            monitor.scheduler.confirmed_activity_count
+        )
+        assert len(index.alert_log) == len(monitor.alerts)
+        monitor.run(step_blocks=29)
+        query = QueryService(index)
+        assert serving_parity_mismatches(query, tiny_columnar_batch) == []
+        # Replay from scratch still covers the pre-attach history.
+        assert len(query.replay().poll()) == len(monitor.alerts)
+
+    def test_late_attach_keeps_confirmation_coordinates(self, tiny_world):
+        """Adopted records carry their true confirmation seq/block.
+
+        The regression: bootstrapping with empty confirmation info
+        stamped every pre-attach record with seq -1 and the attach-time
+        head block, so ``list_confirmed(since_block=)`` filtered on the
+        wrong coordinates.  The alerts are adopted anyway -- fold them.
+        """
+        from_start = ServeService.for_world(tiny_world)
+        from_start.run(step_blocks=29)
+
+        monitor = StreamingMonitor.for_world(tiny_world)
+        monitor.run(step_blocks=29)
+        late = QueryService(ServeIndex(monitor))
+
+        reference = {
+            record.key: (record.seq, record.confirmed_at_block)
+            for record in from_start.query.version().confirmed
+        }
+        adopted = {
+            record.key: (record.seq, record.confirmed_at_block)
+            for record in late.version().confirmed
+        }
+        assert adopted == reference
+        midpoint = from_start.query.version().block // 2
+        assert [
+            r.key
+            for r in late.list_confirmed(
+                since_block=midpoint, limit=10_000
+            ).records
+        ] == [
+            r.key
+            for r in from_start.query.list_confirmed(
+                since_block=midpoint, limit=10_000
+            ).records
+        ]
+
+
+class TestPointLookups:
+    def test_token_status_shapes(self, served, tiny_columnar_batch):
+        nft = tiny_columnar_batch.activities[0].nft
+        status = served.query.token_status(nft)
+        assert status.is_washed
+        assert status.records[0].confirmed_at_block >= 0
+        assert status.records[0].seq >= 0
+        by_parts = served.query.token_status(nft.contract, nft.token_id)
+        assert by_parts == status
+
+    def test_clean_and_unknown_tokens(self, served):
+        unknown = NFTKey(contract="0x" + "9" * 40, token_id=7)
+        status = served.query.token_status(unknown)
+        assert not status.is_washed
+        assert status.records == ()
+        with pytest.raises(ValueError):
+            served.query.token_status("0x" + "9" * 40)
+
+    def test_account_profile_contents(self, served, tiny_columnar_batch):
+        account = sorted(tiny_columnar_batch.activities[0].accounts)[0]
+        profile = served.query.account_profile(account)
+        assert profile.is_implicated
+        assert account not in profile.partners
+        assert profile.nfts <= {a.nft for a in tiny_columnar_batch.activities}
+        clean = served.query.account_profile("0x" + "8" * 40)
+        assert not clean.is_implicated and clean.activity_count == 0
+
+
+class TestListing:
+    def test_pagination_covers_exactly_once(self, served):
+        version = served.query.version()
+        seen = []
+        cursor = None
+        while True:
+            page = served.query.list_confirmed(
+                limit=4, cursor=cursor, version=version
+            )
+            assert len(page.records) <= 4
+            seen.extend(record.key for record in page.records)
+            if page.next_cursor is None:
+                break
+            cursor = page.next_cursor
+        assert seen == [record.key for record in version.confirmed]
+        assert len(set(seen)) == len(seen)
+
+    def test_filters_match_brute_force(self, served):
+        version = served.query.version()
+        for method in DetectionMethod:
+            page = served.query.list_confirmed(
+                method=method, limit=10_000, version=version
+            )
+            expected = [
+                record for record in version.confirmed if method in record.methods
+            ]
+            assert list(page.records) == expected
+            assert page.total_matched == len(expected)
+        for venue in served.query.venues(version=version):
+            page = served.query.list_confirmed(
+                venue=venue, limit=10_000, version=version
+            )
+            assert all(record.venue == venue for record in page.records)
+            assert page.total_matched == sum(
+                1 for record in version.confirmed if record.venue == venue
+            )
+        midpoint = version.block // 2
+        page = served.query.list_confirmed(
+            since_block=midpoint, limit=10_000, version=version
+        )
+        assert all(
+            record.confirmed_at_block >= midpoint for record in page.records
+        )
+
+    def test_limit_validation(self, served):
+        with pytest.raises(ValueError):
+            served.query.list_confirmed(limit=0)
+
+
+class TestReplay:
+    def test_full_replay_equals_alert_stream(self, served):
+        cursor = served.query.replay()
+        alerts = cursor.poll()
+        assert list(alerts) == served.monitor.alerts
+        assert [alert.seq for alert in alerts] == list(range(len(alerts)))
+        assert cursor.poll() == ()
+        assert cursor.lag == 0
+
+    def test_resume_from_midpoint(self, served):
+        total = len(served.monitor.alerts)
+        midpoint = total // 2
+        cursor = served.query.replay(since_seq=midpoint - 1)
+        assert cursor.lag == total - midpoint
+        batch = cursor.poll(limit=3)
+        assert [alert.seq for alert in batch] == [midpoint, midpoint + 1, midpoint + 2]
+        rest = cursor.poll()
+        assert rest[-1].seq == total - 1
+
+
+class TestAggregateCache:
+    def test_cache_unit_precision(self):
+        cache = AggregateCache()
+        calls = []
+        value = cache.get_or_compute(
+            "a", (collection_scope("0xaa"),), lambda: calls.append(1) or "A"
+        )
+        assert value == "A"
+        assert cache.get_or_compute(
+            "a", (collection_scope("0xaa"),), lambda: calls.append(1) or "A2"
+        ) == "A"
+        cache.get_or_compute("b", (collection_scope("0xbb"),), lambda: "B")
+        cache.get_or_compute("f", (FUNNEL_SCOPE,), lambda: "F")
+        assert len(calls) == 1 and len(cache) == 3
+
+        # Invalidating one collection leaves the others untouched.
+        dropped = cache.invalidate({collection_scope("0xaa"), FUNNEL_SCOPE})
+        assert dropped == 2
+        assert cache.get_or_compute(
+            "b", (collection_scope("0xbb"),), lambda: "B-recomputed"
+        ) == "B"
+        assert cache.get_or_compute(
+            "a", (collection_scope("0xaa"),), lambda: "A-fresh"
+        ) == "A-fresh"
+        assert cache.invalidate(()) == 0
+
+    def test_racing_invalidation_discards_the_store(self):
+        cache = AggregateCache()
+
+        def compute():
+            # A tick invalidates the scope mid-computation.
+            cache.invalidate({venue_scope("OpenSea")})
+            return "stale-for-next-gen"
+
+        assert (
+            cache.get_or_compute("v", (venue_scope("OpenSea"),), compute)
+            == "stale-for-next-gen"
+        )
+        # The racy value must not have been cached.
+        assert (
+            cache.get_or_compute("v", (venue_scope("OpenSea"),), lambda: "fresh")
+            == "fresh"
+        )
+        assert cache.stats.stale_discards == 1
+
+    def test_integration_untouched_scopes_survive_ticks(self, tiny_world):
+        service = ServeService.for_world(tiny_world)
+        service.run(step_blocks=29)
+        first = service.query.funnel_stats()
+        hits_before = service.cache.stats.hits
+        assert service.query.funnel_stats() is first
+        # An empty tick dirties nothing, so the cache stays warm.
+        service.advance()
+        assert service.query.funnel_stats() is first
+        assert service.cache.stats.hits == hits_before + 2
+
+    def test_uncached_service_still_answers(self, tiny_world):
+        service = ServeService.for_world(tiny_world, use_cache=False)
+        service.run(step_blocks=50)
+        assert service.cache is None
+        first = service.query.funnel_stats()
+        second = service.query.funnel_stats()
+        assert first == second and first is not second

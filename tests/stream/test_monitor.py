@@ -61,6 +61,80 @@ class TestAlerts:
         assert [a for snap in snapshots for a in snap.alerts] == alerts
 
 
+class TestSequenceNumbers:
+    def test_alert_seqs_are_gapless_positions(self, driven):
+        monitor, alerts, _, _ = driven
+        assert [alert.seq for alert in alerts] == list(range(len(alerts)))
+        assert monitor.next_seq == len(alerts)
+
+    def test_snapshot_dirty_nfts_match_count(self, driven):
+        _, _, _, snapshots = driven
+        for snap in snapshots:
+            assert len(snap.dirty_nfts) == snap.dirty_token_count
+            assert len(set(snap.dirty_nfts)) == len(snap.dirty_nfts)
+
+
+class TestSubscriberIsolation:
+    """A raising subscriber must not abort the tick or starve the rest."""
+
+    def test_poison_alert_subscriber_is_isolated(self, tiny_world, tiny_report):
+        monitor = StreamingMonitor.for_world(tiny_world)
+        received = []
+
+        def poison(alert):
+            raise RuntimeError("subscriber exploded")
+
+        monitor.subscribe(poison)  # registered FIRST: later ones must still run
+        monitor.subscribe(received.append)
+        snapshots = monitor.run(step_blocks=29)
+
+        # The tick stream completed and stayed atomic...
+        assert monitor.processed_block == tiny_world.node.block_number
+        assert monitor.result().activity_count == (
+            tiny_report.result.activity_count
+        )
+        # ...every alert still reached the healthy subscriber...
+        assert received == monitor.alerts
+        assert [a for snap in snapshots for a in snap.alerts] == monitor.alerts
+        # ...and every failure was recorded, not swallowed silently.
+        assert len(monitor.subscriber_errors) == len(monitor.alerts)
+        first = monitor.subscriber_errors[0]
+        assert first.callback is poison
+        assert isinstance(first.error, RuntimeError)
+        assert first.event == monitor.alerts[0]
+
+    def test_poison_snapshot_subscriber_is_isolated(self, tiny_world):
+        monitor = StreamingMonitor.for_world(tiny_world)
+        seen = []
+
+        @monitor.subscribe_snapshots
+        def poison(snapshot):
+            raise ValueError("snapshot subscriber exploded")
+
+        monitor.subscribe_snapshots(seen.append)
+        snapshots = monitor.run(step_blocks=50)
+        assert seen == snapshots
+        assert all(
+            isinstance(error.error, ValueError)
+            for error in monitor.subscriber_errors
+        )
+        assert len(monitor.subscriber_errors) == len(snapshots)
+
+    def test_error_hook_is_invoked_and_itself_isolated(self, tiny_world):
+        hooked = []
+
+        def hook(record):
+            hooked.append(record)
+            raise RuntimeError("the error hook is broken too")
+
+        monitor = StreamingMonitor.for_world(tiny_world, on_subscriber_error=hook)
+        monitor.subscribe(lambda alert: (_ for _ in ()).throw(KeyError("boom")))
+        monitor.run(step_blocks=50)
+        assert hooked == monitor.subscriber_errors
+        assert hooked  # the tiny world does raise alerts
+        assert monitor.result().activity_count > 0
+
+
 class TestWatchlist:
     def test_watchlist_hits_fire_for_confirmed_accounts(self, tiny_world, tiny_report):
         target = sorted(tiny_report.result.activities[0].accounts)[0]
