@@ -19,10 +19,24 @@ Three acceptance checks for the serving layer (:mod:`repro.serve`):
   replaying consumer must reconcile every retraction, and the final
   state must match a batch build.
 
+With ``--wire``, two more checks cross the network boundary
+(:mod:`repro.serve.wire`):
+
+* ``test_wire_load_parity_under_live_ingest`` points the *same*
+  :class:`LoadGenerator` fleet at a TCP socket (through
+  :class:`~repro.serve.wire.RemoteQueryService`) while ingest rides a
+  reorg storm, reports sustained over-the-wire queries/sec, and samples
+  full wire parity at pinned versions throughout the storm -- the
+  server must stay correct under load, not just answer fast.
+* ``test_wire_vs_in_process_throughput`` runs one fixed mixed workload
+  both ways over a settled service and reports the socket's overhead
+  factor next to both throughputs.
+
 Run with::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_serve_load.py -q -s
     PYTHONPATH=src python -m pytest benchmarks/bench_serve_load.py --smoke -q -s
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve_load.py --wire --smoke -q -s
 """
 
 from __future__ import annotations
@@ -298,3 +312,136 @@ def test_concurrent_load_sustains_queries(serve_profile):
         labels=world.labels, is_contract=world.is_contract, engine="columnar"
     ).run(build_dataset(world.node, world.marketplace_addresses))
     assert serving_parity_mismatches(service.query, batch, version=final) == []
+
+
+def test_wire_load_parity_under_live_ingest(serve_profile, wire_enabled):
+    """TCP reader fleet vs live ingest: fast *and* correct at every pin."""
+    from repro.serve import RemoteQueryService, WireClient, wire_parity_mismatches
+    from repro.simulation.config import SimulationConfig
+
+    world = build_default_world(SimulationConfig.tiny())
+    service = ServeService.for_world(world, max_reorg_depth=64)
+    server = service.serve_wire()
+    host, port = server.address
+
+    stop = threading.Event()
+    remotes = [
+        RemoteQueryService(host, port)
+        for _ in range(serve_profile["query_threads"])
+    ]
+    generators = [
+        LoadGenerator(remote, seed=300 + slot, stop=stop, mirror=(slot == 0))
+        for slot, remote in enumerate(remotes)
+    ]
+    for generator in generators:
+        generator.thread.start()
+    parity_client = WireClient(host, port).connect()
+
+    rng = random.Random(4242)
+    started = time.perf_counter()
+    deadline = started + serve_profile["load_seconds"]
+    tick = 0
+    sampled = 0
+    parity_problems = []
+    while time.perf_counter() < deadline:
+        if service.monitor.processed_block >= world.node.block_number:
+            apply_random_reorg(
+                world.chain, rng.randint(1, 10), rng, drop_probability=0.35
+            )
+        service.advance(
+            min(
+                world.node.block_number,
+                service.monitor.processed_block + rng.randint(10, 60),
+            )
+        )
+        tick += 1
+        if tick % 2 == 0:
+            # Full wire parity at a freshly pinned mid-storm version.
+            parity_problems.extend(
+                wire_parity_mismatches(
+                    parity_client, service.query, server.lookup_version
+                )
+            )
+            sampled += 1
+    service.advance()  # settle the last revision
+    parity_problems.extend(
+        wire_parity_mismatches(parity_client, service.query, server.lookup_version)
+    )
+    sampled += 1
+
+    # Let the replay mirror drain before freezing the readers.
+    mirror_cursor = generators[0]._cursor
+    drain_deadline = time.perf_counter() + 30
+    while mirror_cursor.position < service.index.last_seq:
+        assert time.perf_counter() < drain_deadline, "mirror cursor stalled"
+        time.sleep(0.02)
+    stop.set()
+    for generator in generators:
+        generator.thread.join(timeout=30)
+        assert not generator.thread.is_alive()
+    elapsed = time.perf_counter() - started
+
+    total = sum(generator.queries for generator in generators)
+    qps = total / elapsed if elapsed else float("inf")
+    print(
+        f"\n== wire load under live ingest == {total} queries from "
+        f"{len(generators)} TCP readers in {elapsed:.2f}s ({qps:,.0f} q/s), "
+        f"{tick} ticks, parity sampled at {sampled} pinned versions"
+    )
+    for generator in generators:
+        assert generator.errors == [], generator.errors[:3]
+    assert parity_problems == [], parity_problems[:5]
+    assert total > 0
+
+    final = service.query.version()
+    assert final.confirmed_activity_count > 0
+    assert +generators[0].mirror == Counter(
+        record.key for record in final.confirmed
+    )
+    parity_client.close()
+    for remote in remotes:
+        remote.close()
+    service.shutdown()
+
+
+def test_wire_vs_in_process_throughput(serve_profile, wire_enabled):
+    """One fixed mixed workload, both transports; report the overhead."""
+    from repro.serve import RemoteQueryService, WireClient, wire_parity_mismatches
+
+    world = build_default_world(serve_profile["preset"]())
+    service = ServeService.for_world(world)
+    service.run()
+    server = service.serve_wire()
+    remote = RemoteQueryService(*server.address)
+
+    results = {}
+    for label, query in (("in-process", service.query), ("wire", remote)):
+        rng = random.Random(11)
+        started = time.perf_counter()
+        served = query_sweep(
+            query,
+            rng,
+            serve_profile["aggregate_repeats"],
+            serve_profile["point_queries"],
+        )
+        elapsed = time.perf_counter() - started
+        results[label] = (served, elapsed)
+
+    print(f"\n== wire vs in-process throughput == head={world.node.block_number}")
+    for label, (served, elapsed) in results.items():
+        qps = served / elapsed if elapsed else float("inf")
+        print(f"  {label:<11} {served} queries in {elapsed:.3f}s ({qps:>10,.0f} q/s)")
+    (in_served, in_elapsed) = results["in-process"]
+    (wire_served, wire_elapsed) = results["wire"]
+    overhead = (wire_elapsed / wire_served) / (in_elapsed / in_served)
+    print(f"  per-query overhead factor over TCP: {overhead:.1f}x")
+
+    # Same workload size both ways, and the wire serves the same truth.
+    assert wire_served == in_served
+    with WireClient(*server.address) as client:
+        assert (
+            wire_parity_mismatches(client, service.query, server.lookup_version)
+            == []
+        )
+    remote.close()
+    service.shutdown()

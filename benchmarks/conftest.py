@@ -51,6 +51,16 @@ def pytest_addoption(parser):
             "CI-sized workload: tiny world, fewer query repetitions"
         ),
     )
+    parser.addoption(
+        "--wire",
+        action="store_true",
+        help=(
+            "also run the over-the-wire serving benchmarks "
+            "(bench_serve_load): TCP reader fleet against live ingest "
+            "with parity sampled at pinned versions, and the "
+            "wire-vs-in-process throughput comparison"
+        ),
+    )
 
 
 @pytest.fixture
@@ -59,6 +69,13 @@ def reorg_profile(request):
     if request.config.getoption("--reorgs"):
         return {"rounds": 12, "depths": (1, 3, 8, 21, 55)}
     return {"rounds": 4, "depths": (2, 8, 21)}
+
+
+@pytest.fixture
+def wire_enabled(request):
+    """Gate for the over-the-wire serving benchmarks (``--wire``)."""
+    if not request.config.getoption("--wire"):
+        pytest.skip("pass --wire to run the over-the-wire serving benchmarks")
 
 
 @pytest.fixture

@@ -14,15 +14,25 @@ Two subcommands share the synthetic-world presets:
   together (:mod:`repro.serve`): an ingest thread follows the chain
   while query workers hammer the versioned wash-status API, then
   reports throughput, cache efficiency and (with ``--verify``) full
-  serving parity against a batch build.
+  serving parity against a batch build.  With ``--listen HOST:PORT``
+  it additionally serves the wire protocol
+  (:mod:`repro.serve.wire`) beside ingest and keeps serving until
+  interrupted; ``SIGINT``/``SIGTERM`` trigger a graceful shutdown --
+  listener closed, in-flight requests drained, ingest joined, exit 0.
+* ``query`` drives a running wire server from the command line: point
+  lookups, listings, rollups, the funnel, the alert log, and a live
+  ``subscribe`` stream, each printed as JSON.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import signal
 import sys
+import threading
 import time
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Tuple
 
 from repro.analysis.report import PaperReport
 from repro.core.detectors.pipeline import WashTradingPipeline
@@ -36,7 +46,25 @@ PRESETS = {
 }
 
 #: Recognized subcommands; a bare flag list falls through to ``run``.
-COMMANDS = ("run", "monitor", "serve")
+COMMANDS = ("run", "monitor", "serve", "query")
+
+
+def parse_endpoint(value: str) -> Tuple[str, int]:
+    """Parse a ``HOST:PORT`` endpoint (``:PORT`` binds localhost)."""
+    host, separator, port_text = value.rpartition(":")
+    if not separator:
+        raise argparse.ArgumentTypeError(
+            f"expected HOST:PORT, got {value!r}"
+        )
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"port must be an integer, got {port_text!r}"
+        ) from None
+    if not 0 <= port <= 65535:
+        raise argparse.ArgumentTypeError(f"port {port} out of range")
+    return (host or "127.0.0.1", port)
 
 
 def _add_world_arguments(parser: argparse.ArgumentParser) -> None:
@@ -199,11 +227,24 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="watchlist an account address (repeatable)",
     )
     parser.add_argument(
+        "--listen",
+        type=parse_endpoint,
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "also serve the wire protocol on this TCP endpoint (port 0 "
+            "picks a free port, printed on startup) and keep serving "
+            "after ingest completes until SIGINT/SIGTERM"
+        ),
+    )
+    parser.add_argument(
         "--verify",
         action="store_true",
         help=(
             "after ingest, check every query answer against a fresh batch "
-            "pipeline build (exit 2 on any mismatch)"
+            "pipeline build -- and, with --listen, every wire answer "
+            "against the in-process service through the socket (exit 2 "
+            "on any mismatch)"
         ),
     )
     parser.add_argument(
@@ -217,6 +258,163 @@ def build_serve_parser() -> argparse.ArgumentParser:
         help="print only the final summary line",
     )
     return parser
+
+
+def build_query_parser() -> argparse.ArgumentParser:
+    """The ``query`` (wire client) command-line interface."""
+    parser = argparse.ArgumentParser(
+        prog="repro query",
+        description=(
+            "Query a running wash-status wire server (started with "
+            "'repro serve --listen HOST:PORT'); answers print as JSON."
+        ),
+    )
+    parser.add_argument(
+        "--connect",
+        type=parse_endpoint,
+        required=True,
+        metavar="HOST:PORT",
+        help="wire server endpoint to connect to",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        help="socket timeout in seconds (default: 10)",
+    )
+    verbs = parser.add_subparsers(dest="verb", required=True, metavar="VERB")
+    verbs.add_parser("ping", help="liveness + protocol version")
+    verbs.add_parser("version", help="pin and print the current version")
+    verbs.add_parser("stats", help="server connection/request counters")
+    verbs.add_parser("funnel", help="live refinement-funnel statistics")
+    verbs.add_parser("collections", help="every contract known to the store")
+    verbs.add_parser("venues", help="venues with confirmed activity")
+    status = verbs.add_parser("token-status", help="wash status of one NFT")
+    status.add_argument("contract")
+    status.add_argument("token_id", type=int)
+    profile = verbs.add_parser(
+        "account-profile", help="involvement summary of one account"
+    )
+    profile.add_argument("address")
+    listing = verbs.add_parser(
+        "list", help="filtered listing of confirmed activities"
+    )
+    listing.add_argument("--method", default=None, help="detection method filter")
+    listing.add_argument("--venue", default=None, help="dominant-venue filter")
+    listing.add_argument("--since-block", type=int, default=None)
+    listing.add_argument("--limit", type=int, default=20)
+    collection = verbs.add_parser(
+        "collection", help="aggregate rollup of one contract"
+    )
+    collection.add_argument("contract")
+    marketplace = verbs.add_parser(
+        "marketplace", help="aggregate rollup of one venue"
+    )
+    marketplace.add_argument("venue")
+    alerts = verbs.add_parser("alerts", help="one-shot alert-log replay")
+    alerts.add_argument("--since-seq", type=int, default=-1)
+    alerts.add_argument("--limit", type=int, default=None)
+    subscribe = verbs.add_parser(
+        "subscribe", help="stream alerts live (replay + push), one JSON per line"
+    )
+    subscribe.add_argument("--since-seq", type=int, default=-1)
+    subscribe.add_argument(
+        "--max-alerts",
+        type=int,
+        default=None,
+        help="exit after this many alerts (default: stream forever)",
+    )
+    subscribe.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=None,
+        help="exit after this many seconds without an alert",
+    )
+    return parser
+
+
+def run_query(argv: Sequence[str]) -> int:
+    """The wire-client subcommand: one verb, one JSON answer."""
+    from repro.serve.wire import WireClient, WireRequestError
+    from repro.serve.wire import codec
+
+    args = build_query_parser().parse_args(argv)
+    host, port = args.connect
+    client = WireClient(host, port, timeout=args.timeout)
+    try:
+        client.connect()
+    except OSError as error:
+        print(f"cannot connect to {host}:{port}: {error}", file=sys.stderr)
+        return 1
+
+    try:
+        if args.verb == "subscribe":
+            stream = client.subscribe(args.since_seq)
+            served = 0
+            idle = 0.0
+            while args.max_alerts is None or served < args.max_alerts:
+                alert = stream.next(timeout=0.2)
+                if alert is None:
+                    if stream.closed.is_set():
+                        break
+                    idle += 0.2
+                    if args.idle_timeout is not None and idle >= args.idle_timeout:
+                        break
+                    continue
+                idle = 0.0
+                print(
+                    json.dumps(codec.encode_alert(alert), sort_keys=True),
+                    flush=True,
+                )
+                served += 1
+            if stream.overflow_seq is not None:
+                print(
+                    f"overflowed; resume with --since-seq {stream.overflow_seq}",
+                    file=sys.stderr,
+                )
+                return 3
+            return 0
+        if args.verb == "ping":
+            result = client.ping()
+        elif args.verb == "version":
+            result = client.version()
+        elif args.verb == "stats":
+            result = client.stats()
+        elif args.verb == "funnel":
+            result = client.funnel_stats()
+        elif args.verb == "collections":
+            result = {"collections": client.collections()}
+        elif args.verb == "venues":
+            result = {"venues": client.venues()}
+        elif args.verb == "token-status":
+            result = client.token_status(args.contract, args.token_id)
+        elif args.verb == "account-profile":
+            result = client.account_profile(args.address)
+        elif args.verb == "list":
+            result = client.list_confirmed(
+                method=args.method,
+                venue=args.venue,
+                since_block=args.since_block,
+                limit=args.limit,
+            )
+        elif args.verb == "collection":
+            result = client.collection_rollup(args.contract)
+        elif args.verb == "marketplace":
+            result = client.marketplace_rollup(args.venue)
+        elif args.verb == "alerts":
+            result = client.alerts(since_seq=args.since_seq, limit=args.limit)
+        else:  # pragma: no cover - argparse enforces the verb set
+            raise AssertionError(args.verb)
+        print(json.dumps(result, indent=2, sort_keys=True))
+        return 0
+    except WireRequestError as error:
+        print(f"server error [{error.code}]: {error.message}", file=sys.stderr)
+        return 2
+    except OSError as error:
+        print(f"connection failed: {error}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
 
 
 def run_batch(argv: Sequence[str]) -> int:
@@ -328,100 +526,169 @@ def run_serve(argv: Sequence[str]) -> int:
     if args.seed is not None:
         config.seed = args.seed
 
-    world = build_default_world(config)
-    monitor = StreamingMonitor.for_world(
-        world,
-        watchlist=args.watch,
-        max_reorg_depth=args.max_reorg_depth,
-        retain_scan_matches=not args.bounded_memory,
-    )
-    service = ServeService(monitor, use_cache=not args.no_cache)
-    query = service.query
+    # SIGINT/SIGTERM ask for a graceful exit: the flag is checked by the
+    # wait loops below, which then drain the wire server and join ingest
+    # instead of dying mid-tick with a KeyboardInterrupt traceback.
+    # Installed before any heavy work (even the world build), so a
+    # supervisor that signals early still gets a clean exit.
+    interrupted = threading.Event()
+    previous_handlers = {}
+    if threading.current_thread() is threading.main_thread():
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous_handlers[signum] = signal.signal(
+                signum, lambda *_: interrupted.set()
+            )
 
-    # The workers run the same mixed workload the load benchmark
-    # measures (repro.serve.load), stopping when ingest is done.
-    generators = [
-        LoadGenerator(query, seed=1000 + slot, stop=service.done)
-        for slot in range(max(args.query_threads, 0))
-    ]
-
-    started = time.time()
-    service.start_background(step_blocks=args.step_blocks)
-    for generator in generators:
-        generator.thread.start()
     try:
-        service.join()
-    except Exception as error:
+        world = build_default_world(config)
+        monitor = StreamingMonitor.for_world(
+            world,
+            watchlist=args.watch,
+            max_reorg_depth=args.max_reorg_depth,
+            retain_scan_matches=not args.bounded_memory,
+        )
+        service = ServeService(monitor, use_cache=not args.no_cache)
+        query = service.query
+
+        if args.listen is not None:
+            server = service.serve_wire(*args.listen)
+            wire_host, wire_port = server.address
+            print(f"wire: listening on {wire_host}:{wire_port}", flush=True)
+
+        # The workers run the same mixed workload the load benchmark
+        # measures (repro.serve.load), stopping when ingest is done.
+        generators = [
+            LoadGenerator(query, seed=1000 + slot, stop=service.done)
+            for slot in range(max(args.query_threads, 0))
+        ]
+
+        started = time.time()
+        service.start_background(step_blocks=args.step_blocks)
+        for generator in generators:
+            generator.thread.start()
+        while not service.done.wait(0.1):
+            if interrupted.is_set():
+                service._stop.set()
+                break
+        try:
+            service.join()
+        except Exception as error:
+            for generator in generators:
+                generator.thread.join()
+            # Close only the wire side here: service.shutdown() would
+            # re-raise the stored ingest error and swallow the message.
+            if service.wire is not None:
+                service.wire.close()
+            print(f"ingest failed: {error!r}", file=sys.stderr)
+            return 2
         for generator in generators:
             generator.thread.join()
-        print(f"ingest failed: {error!r}", file=sys.stderr)
-        return 2
-    for generator in generators:
-        generator.thread.join()
-    elapsed = time.time() - started
+        elapsed = time.time() - started
 
-    final = query.version()
-    result = service.result()
-    score = world.ground_truth.match_against(result.washed_nfts())
-    total_queries = sum(generator.queries for generator in generators)
-    qps = total_queries / elapsed if elapsed > 0 else float("inf")
-    ticks = service.tick_latencies
-    status = 0
+        final = query.version()
+        result = service.result()
+        score = world.ground_truth.match_against(result.washed_nfts())
+        total_queries = sum(generator.queries for generator in generators)
+        qps = total_queries / elapsed if elapsed > 0 else float("inf")
+        ticks = service.tick_latencies
+        status = 0
 
-    worker_errors = [
-        error for generator in generators for error in generator.errors
-    ]
-    if worker_errors:
-        print(f"query workers raised: {worker_errors[:3]}", file=sys.stderr)
-        status = 2
-    # The serve index applies ticks as an (isolated) monitor subscriber;
-    # a failure there leaves the read model stale, so it is a serving
-    # error even though the monitor itself kept going.
-    subscriber_errors = (
-        list(service.monitor.subscriber_errors) + service.index.subscriber_errors
-    )
-    if subscriber_errors:
-        print(
-            f"subscriber failures during ingest: {subscriber_errors[:3]}",
-            file=sys.stderr,
-        )
-        status = 2
-    if args.verify:
-        batch = WashTradingPipeline(
-            labels=world.labels, is_contract=world.is_contract, engine="columnar"
-        ).run(build_dataset(world.node, world.marketplace_addresses))
-        mismatches = serving_parity_mismatches(query, batch)
-        if mismatches:
-            for mismatch in mismatches:
-                print(f"parity mismatch: {mismatch}", file=sys.stderr)
+        worker_errors = [
+            error for generator in generators for error in generator.errors
+        ]
+        if worker_errors:
+            print(f"query workers raised: {worker_errors[:3]}", file=sys.stderr)
             status = 2
-        elif not args.quiet:
-            print("serving parity vs batch build: OK")
-    if args.expect_confirmed and final.confirmed_activity_count == 0:
-        print("expected a non-empty confirmed set", file=sys.stderr)
-        status = max(status, 1)
-
-    if not args.quiet and service.cache is not None:
-        stats = service.cache.stats
-        print(
-            f"aggregate cache: {stats.hits} hits / {stats.lookups} lookups "
-            f"({stats.hit_rate:.1%}), {stats.invalidated} invalidated"
+        # The serve index applies ticks as an (isolated) monitor subscriber;
+        # a failure there leaves the read model stale, so it is a serving
+        # error even though the monitor itself kept going.
+        subscriber_errors = (
+            list(service.monitor.subscriber_errors)
+            + service.index.subscriber_errors
         )
-    tick_line = (
-        f"tick mean {sum(ticks) / len(ticks) * 1e3:.1f}ms "
-        f"max {max(ticks) * 1e3:.1f}ms"
-        if ticks
-        else "no ticks"
-    )
-    print(
-        f"\n[{args.preset}/serve] {final.version} versions to block "
-        f"{final.block}, {final.confirmed_activity_count} confirmed "
-        f"activities on {len(final.flagged_nfts)} NFTs, "
-        f"{total_queries} queries from {args.query_threads} threads "
-        f"({qps:,.0f} q/s), {tick_line}, recall {score.recall:.1%}, "
-        f"{elapsed:.1f}s"
-    )
-    return status
+        if subscriber_errors:
+            print(
+                f"subscriber failures during ingest: {subscriber_errors[:3]}",
+                file=sys.stderr,
+            )
+            status = 2
+        if args.verify and interrupted.is_set():
+            # Interrupted before ingest finished: the serve state is a
+            # legitimate partial prefix, not a full-head build, so the
+            # parity comparison would be meaningless -- and the shutdown
+            # contract is a clean exit 0.
+            print(
+                "interrupted before ingest completed; skipping --verify",
+                file=sys.stderr,
+            )
+        if args.verify and not interrupted.is_set():
+            batch = WashTradingPipeline(
+                labels=world.labels, is_contract=world.is_contract, engine="columnar"
+            ).run(build_dataset(world.node, world.marketplace_addresses))
+            mismatches = serving_parity_mismatches(query, batch)
+            if mismatches:
+                for mismatch in mismatches:
+                    print(f"parity mismatch: {mismatch}", file=sys.stderr)
+                status = 2
+            elif not args.quiet:
+                print("serving parity vs batch build: OK")
+            if args.listen is not None:
+                # The same bar through the socket: every wire answer must
+                # equal the in-process answer at the pinned version.
+                from repro.serve.wire import WireClient, wire_parity_mismatches
+
+                with WireClient(*service.wire.address) as wire_client:
+                    wire_mismatches = wire_parity_mismatches(
+                        wire_client, query, service.wire.lookup_version
+                    )
+                if wire_mismatches:
+                    for mismatch in wire_mismatches:
+                        print(f"wire parity mismatch: {mismatch}", file=sys.stderr)
+                    status = 2
+                elif not args.quiet:
+                    print("wire parity vs in-process service: OK")
+        if (
+            args.expect_confirmed
+            and not interrupted.is_set()
+            and final.confirmed_activity_count == 0
+        ):
+            print("expected a non-empty confirmed set", file=sys.stderr)
+            status = max(status, 1)
+
+        if not args.quiet and service.cache is not None:
+            stats = service.cache.stats
+            print(
+                f"aggregate cache: {stats.hits} hits / {stats.lookups} lookups "
+                f"({stats.hit_rate:.1%}), {stats.invalidated} invalidated"
+            )
+        tick_line = (
+            f"tick mean {sum(ticks) / len(ticks) * 1e3:.1f}ms "
+            f"max {max(ticks) * 1e3:.1f}ms"
+            if ticks
+            else "no ticks"
+        )
+        print(
+            f"\n[{args.preset}/serve] {final.version} versions to block "
+            f"{final.block}, {final.confirmed_activity_count} confirmed "
+            f"activities on {len(final.flagged_nfts)} NFTs, "
+            f"{total_queries} queries from {args.query_threads} threads "
+            f"({qps:,.0f} q/s), {tick_line}, recall {score.recall:.1%}, "
+            f"{elapsed:.1f}s",
+            flush=True,
+        )
+        if args.listen is not None and not interrupted.is_set():
+            # Ingest is done but the wire stays up: serve until asked to
+            # stop, then drain and exit cleanly.
+            if not args.quiet:
+                print("wire: serving until interrupted", flush=True)
+            interrupted.wait()
+        service.shutdown()
+        if args.listen is not None and not args.quiet:
+            print("wire: shut down cleanly", flush=True)
+        return status
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -434,6 +701,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return run_monitor(argv)
     if command == "serve":
         return run_serve(argv)
+    if command == "query":
+        return run_query(argv)
     return run_batch(argv)
 
 

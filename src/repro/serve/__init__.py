@@ -20,6 +20,12 @@ wallet actually calls.  Four pieces:
 * :mod:`repro.serve.service` -- :class:`ServeService`, the facade that
   runs monitor ingest (inline or on a background thread) and the query
   front end together; ``python -m repro serve`` is its CLI.
+* :mod:`repro.serve.wire` -- the network boundary: a length-prefixed
+  JSON framing protocol over TCP (:class:`~repro.serve.wire.WireServer`
+  / :class:`~repro.serve.wire.WireClient`) exposing every query
+  endpoint plus a replayable ``subscribe`` alert stream with
+  slow-client backpressure; ``python -m repro serve --listen`` serves
+  it, ``python -m repro query`` drives it.
 
 Parity bar (pinned by ``tests/serve`` and
 ``benchmarks/bench_serve_load.py``): at every published version --
@@ -46,8 +52,18 @@ from repro.serve.model import (
 from repro.serve.parity import serving_parity_mismatches
 from repro.serve.query import AlertReplayCursor, ConfirmedPage, QueryService
 from repro.serve.service import ServeService
+from repro.serve.wire import (
+    RemoteQueryService,
+    WireClient,
+    WireServer,
+    wire_parity_mismatches,
+)
 
 __all__ = [
+    "RemoteQueryService",
+    "WireClient",
+    "WireServer",
+    "wire_parity_mismatches",
     "AccountProfile",
     "ActivityRecord",
     "AggregateCache",

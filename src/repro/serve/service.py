@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import List, Optional
+from typing import List, Optional, TYPE_CHECKING
 
 from repro.core.detectors.pipeline import PipelineResult
 from repro.serve.cache import AggregateCache
@@ -28,6 +28,9 @@ from repro.serve.index import ServeIndex
 from repro.serve.model import ServeVersion
 from repro.serve.query import QueryService
 from repro.stream.monitor import StreamingMonitor
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.serve.wire.server import WireServer
 
 
 class ServeService:
@@ -50,6 +53,8 @@ class ServeService:
         self.ingest_error: Optional[BaseException] = None
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
+        #: The TCP front end, when one was started (see :meth:`serve_wire`).
+        self.wire: Optional["WireServer"] = None
 
     @classmethod
     def for_world(
@@ -147,6 +152,40 @@ class ServeService:
                 raise self.ingest_error
             return not self._thread.is_alive()
         return True
+
+    # -- the wire front end ------------------------------------------------
+    def serve_wire(
+        self, host: str = "127.0.0.1", port: int = 0, **server_kwargs
+    ) -> "WireServer":
+        """Start the TCP front end over this service's query API.
+
+        Returns the running :class:`~repro.serve.wire.server.WireServer`
+        (``server.address`` carries the concrete port when 0 was asked).
+        The server shares this service's versioned read model, so wire
+        clients get the same snapshot-isolation guarantees as in-process
+        readers; :meth:`shutdown` closes it gracefully.
+        """
+        if self.wire is not None:
+            raise RuntimeError("wire server already started")
+        from repro.serve.wire.server import WireServer
+
+        self.wire = WireServer(self.query, host, port, **server_kwargs).start()
+        return self.wire
+
+    def shutdown(self, timeout: Optional[float] = None) -> None:
+        """Graceful stop of the whole service: listener, readers, ingest.
+
+        Ordering matters: the wire listener stops accepting first, then
+        in-flight requests are drained and connections closed, and only
+        then is background ingest stopped and joined -- so every request
+        that was accepted is answered from a live, publishing service.
+        A crashed ingest thread is still surfaced (:meth:`stop`
+        re-raises), but only after the wire side is down.
+        """
+        wire_timeout = 10.0 if timeout is None else timeout
+        if self.wire is not None:
+            self.wire.close(timeout=wire_timeout)
+        self.stop(timeout)
 
     # -- passthroughs ------------------------------------------------------
     def result(self) -> PipelineResult:

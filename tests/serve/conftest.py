@@ -1,0 +1,24 @@
+"""Shared serving-layer fixtures.
+
+The wire tests need a server over a *settled* service (ingest complete,
+versions stable); building the world and running ingest dominates the
+cost, so one server is shared per session by everything that only reads
+through it.  Tests that mutate the chain (reorg storms) or need special
+server tuning (tiny subscriber queues) build their own.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve import ServeService
+
+
+@pytest.fixture(scope="session")
+def settled_wire(tiny_world):
+    """A wire server over a fully ingested tiny world: (service, server)."""
+    service = ServeService.for_world(tiny_world)
+    service.run()
+    server = service.serve_wire()
+    yield service, server
+    service.shutdown()

@@ -1,0 +1,40 @@
+"""Shared chain-churn driver for the wire soak/reconnect batteries.
+
+One place for the advance-against-a-reorganizing-head step the wire
+tests repeat: when the monitor has caught the head, reorganize the tail
+so there is always something adversarial to ingest, then advance a
+random bounded stride (with an optional extra mid-sequence reorg).
+"""
+
+from __future__ import annotations
+
+from repro.simulation.reorg import apply_random_reorg
+
+
+def storm_tick(world, service, rng, extra_reorg: bool = False) -> None:
+    """One monitor advance against a churning head."""
+    if service.monitor.processed_block >= world.node.block_number:
+        apply_random_reorg(
+            world.chain, rng.randint(1, 10), rng, drop_probability=0.35
+        )
+    service.advance(
+        min(
+            world.node.block_number,
+            service.monitor.processed_block + rng.randint(10, 60),
+        )
+    )
+    if extra_reorg:
+        apply_random_reorg(
+            world.chain, rng.randint(1, 8), rng, drop_probability=0.3
+        )
+
+
+def drive_ticks(world, service, rng, ticks: int, reorg_every: int = 3) -> None:
+    """Advance tick by tick, reorganizing every ``reorg_every`` ticks."""
+    for tick in range(ticks):
+        storm_tick(
+            world,
+            service,
+            rng,
+            extra_reorg=(tick % reorg_every == reorg_every - 1),
+        )

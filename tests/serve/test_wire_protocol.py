@@ -1,0 +1,278 @@
+"""Wire protocol basics: framing, codec round trips, the verb surface.
+
+The adversarial batteries live next door (``test_wire_fuzz``,
+``test_wire_soak``, ``test_wire_reconnect``); this file pins the happy
+path -- every verb answers, answers match the in-process service
+exactly (the wire parity bar), version pinning is explicit and typed,
+and pagination over the wire walks the listing exactly once.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.serve import record_key
+from repro.serve.wire import (
+    FrameDecodeError,
+    FrameTooLargeError,
+    TruncatedFrameError,
+    ConnectionClosed,
+    WireClient,
+    WireRequestError,
+    encode_frame,
+    read_frame,
+    wire_parity_mismatches,
+    write_frame,
+)
+from repro.serve.wire import codec
+from repro.stream.alerts import AlertKind
+
+
+class TestFraming:
+    def test_round_trip(self):
+        buffer = io.BytesIO()
+        write_frame(buffer, {"verb": "ping", "id": 7})
+        buffer.seek(0)
+        assert read_frame(buffer) == {"verb": "ping", "id": 7}
+
+    def test_multiple_frames_stay_in_sync(self):
+        buffer = io.BytesIO()
+        for index in range(5):
+            write_frame(buffer, {"n": index})
+        buffer.seek(0)
+        assert [read_frame(buffer)["n"] for _ in range(5)] == list(range(5))
+
+    def test_clean_eof_is_connection_closed(self):
+        with pytest.raises(ConnectionClosed):
+            read_frame(io.BytesIO(b""))
+
+    def test_eof_inside_prefix_is_truncated(self):
+        with pytest.raises(TruncatedFrameError):
+            read_frame(io.BytesIO(b"\x00\x00"))
+
+    def test_eof_inside_body_is_truncated(self):
+        frame = encode_frame({"verb": "ping"})
+        with pytest.raises(TruncatedFrameError):
+            read_frame(io.BytesIO(frame[:-3]))
+
+    def test_oversized_declared_length_rejected_before_reading(self):
+        buffer = io.BytesIO(b"\xff\xff\xff\xff")
+        with pytest.raises(FrameTooLargeError) as excinfo:
+            read_frame(buffer, max_bytes=1024)
+        assert excinfo.value.declared == 0xFFFFFFFF
+        assert excinfo.value.limit == 1024
+
+    def test_bad_json_payload(self):
+        body = b"{definitely not json"
+        frame = len(body).to_bytes(4, "big") + body
+        with pytest.raises(FrameDecodeError):
+            read_frame(io.BytesIO(frame))
+
+    def test_non_object_payload(self):
+        body = json.dumps([1, 2, 3]).encode()
+        frame = len(body).to_bytes(4, "big") + body
+        with pytest.raises(FrameDecodeError):
+            read_frame(io.BytesIO(frame))
+
+    def test_zero_length_frame_is_bad_json(self):
+        with pytest.raises(FrameDecodeError):
+            read_frame(io.BytesIO(b"\x00\x00\x00\x00"))
+
+
+class TestCodec:
+    def test_alert_round_trip_preserves_identity(self, settled_wire):
+        service, _ = settled_wire
+        alerts = service.index.alerts_since(-1)
+        assert alerts, "settled world should have produced alerts"
+        for alert in alerts:
+            decoded = codec.decode_alert(
+                json.loads(json.dumps(codec.encode_alert(alert)))
+            )
+            assert decoded.kind is alert.kind
+            assert decoded.seq == alert.seq
+            assert decoded.block == alert.block
+            if alert.activity is not None:
+                assert record_key(decoded.activity) == record_key(alert.activity)
+                assert decoded.activity.methods == alert.activity.methods
+                assert (
+                    decoded.activity.component.dominant_marketplace()
+                    == alert.activity.component.dominant_marketplace()
+                )
+
+    def test_page_cursor_round_trip(self, settled_wire):
+        service, _ = settled_wire
+        version = service.query.version()
+        record = version.confirmed[0]
+        cursor = (record.seq, record.key)
+        encoded = json.loads(json.dumps(codec.encode_page_cursor(cursor)))
+        assert codec.decode_page_cursor(encoded) == cursor
+        assert codec.decode_page_cursor(None) is None
+
+
+class TestVerbs:
+    @pytest.fixture()
+    def client(self, settled_wire):
+        _, server = settled_wire
+        with WireClient(*server.address) as client:
+            yield client
+
+    def test_ping(self, client):
+        answer = client.ping()
+        assert answer["pong"] is True
+        assert answer["protocol"] == codec.PROTOCOL_VERSION
+
+    def test_full_wire_parity(self, settled_wire, client):
+        service, server = settled_wire
+        assert (
+            wire_parity_mismatches(client, service.query, server.lookup_version)
+            == []
+        )
+
+    def test_version_pins_and_release_unpins(self, client):
+        info = client.version()
+        number = info["version"]
+        # Pinned: answering at that version works.
+        client.funnel_stats(version=number)
+        assert client.release(number) is True
+        with pytest.raises(WireRequestError) as excinfo:
+            client.funnel_stats(version=number)
+        assert excinfo.value.code == "unknown-version"
+        assert client.release(number) is False
+
+    def test_unpinned_version_is_typed_error(self, client):
+        with pytest.raises(WireRequestError) as excinfo:
+            client.token_status("0x" + "0" * 40, 1, version=999_999)
+        assert excinfo.value.code == "unknown-version"
+
+    def test_pagination_walks_exactly_once(self, settled_wire, client):
+        service, _ = settled_wire
+        number = client.version()["version"]
+        seen = []
+        cursor = None
+        while True:
+            page = client.list_confirmed(limit=4, cursor=cursor, version=number)
+            seen.extend(tuple(codec.decode_record_key(r["key"])) for r in page["records"])
+            if page["next_cursor"] is None:
+                break
+            cursor = page["next_cursor"]
+        expected = [record.key for record in service.query.version().confirmed]
+        assert seen == expected
+
+    def test_filters_match_in_process(self, settled_wire, client):
+        service, _ = settled_wire
+        number = client.version()["version"]
+        for venue in client.venues(version=number):
+            wire_page = client.list_confirmed(venue=venue, version=number, limit=1000)
+            local_page = service.query.list_confirmed(venue=venue, limit=1000)
+            assert wire_page["total_matched"] == local_page.total_matched
+
+    def test_unpinned_wire_aggregates_hit_the_cache(self, settled_wire, client):
+        service, _ = settled_wire
+        assert service.cache is not None
+        baseline = service.cache.stats.hits
+        for _ in range(3):
+            client.funnel_stats()  # no version param: the cached path
+        assert service.cache.stats.hits >= baseline + 2
+
+    def test_stats_counts_requests(self, client):
+        before = client.stats()["requests"]
+        client.ping()
+        after = client.stats()["requests"]
+        assert after >= before + 2  # the ping and the stats call itself
+
+    def test_unsubscribe_returns_connection_to_request_mode(self, settled_wire):
+        import socket as socket_module
+
+        _, server = settled_wire
+        host, port = server.address
+        sock = socket_module.create_connection((host, port), 10)
+        sock.settimeout(10)
+        rfile, wfile = sock.makefile("rb"), sock.makefile("wb")
+        try:
+            write_frame(wfile, {"id": 1, "verb": "subscribe", "params": {"since_seq": -1}})
+            response = read_frame(rfile)
+            assert response["ok"] and response["result"]["subscribed"]
+            write_frame(wfile, {"id": 2, "verb": "unsubscribe"})
+            # Alert events stream until the unsubscribe lands; scan for
+            # its response among them.
+            seen_alert = False
+            for _ in range(10_000):
+                frame = read_frame(rfile)
+                if frame.get("event") == "alert":
+                    seen_alert = True
+                    continue
+                assert frame["id"] == 2 and frame["result"]["unsubscribed"]
+                break
+            else:
+                raise AssertionError("unsubscribe response never arrived")
+            assert seen_alert, "replay should have delivered alerts first"
+            # Plain request/response still works on the same connection.
+            write_frame(wfile, {"id": 3, "verb": "ping"})
+            for _ in range(10_000):
+                frame = read_frame(rfile)
+                if frame.get("event") == "alert":
+                    continue
+                assert frame["id"] == 3 and frame["result"]["pong"]
+                break
+        finally:
+            sock.close()
+
+    def test_subscribe_twice_is_typed_error(self, settled_wire):
+        service, server = settled_wire
+        client = WireClient(*server.address).connect()
+        try:
+            # Subscribe at the tail: a valid cursor, nothing to replay.
+            client.request("subscribe", since_seq=service.index.last_seq)
+            with pytest.raises(WireRequestError) as excinfo:
+                client.request("subscribe", since_seq=-1)
+            assert excinfo.value.code == "already-subscribed"
+        finally:
+            client.close()
+
+    def test_subscribe_above_horizon_is_typed_error(self, settled_wire):
+        service, server = settled_wire
+        client = WireClient(*server.address).connect()
+        try:
+            with pytest.raises(WireRequestError) as excinfo:
+                client.request(
+                    "subscribe", since_seq=service.index.last_seq + 1
+                )
+            assert excinfo.value.code == "cursor-above-horizon"
+            # The refusal left the connection in request mode.
+            assert client.ping()["pong"] is True
+        finally:
+            client.close()
+
+    def test_remote_replay_cursor_limit_preserves_order(self, settled_wire):
+        from repro.serve.wire import RemoteReplayCursor
+
+        service, server = settled_wire
+        cursor = RemoteReplayCursor(*server.address)
+        last_seq = service.index.last_seq
+        seqs = []
+        import time as time_module
+
+        deadline = time_module.time() + 10
+        while (not seqs or seqs[-1] < last_seq) and time_module.time() < deadline:
+            seqs.extend(alert.seq for alert in cursor.poll(limit=3))
+        assert seqs == list(range(last_seq + 1))
+        assert cursor.position == last_seq
+        cursor.close()
+
+    def test_replayed_alerts_match_log(self, settled_wire):
+        service, server = settled_wire
+        client = WireClient(*server.address).connect()
+        stream = client.subscribe(-1)
+        expected = service.index.last_seq + 1
+        received = []
+        while len(received) < expected:
+            alert = stream.next(timeout=5)
+            assert alert is not None, f"stream stalled at {len(received)}/{expected}"
+            received.append(alert)
+        assert [alert.seq for alert in received] == list(range(expected))
+        kinds = {alert.kind for alert in received}
+        assert AlertKind.ACTIVITY_CONFIRMED in kinds
+        stream.close()

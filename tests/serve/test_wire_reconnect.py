@@ -1,0 +1,162 @@
+"""Reconnect/replay and backpressure: the subscription contract.
+
+Two satellites of ISSUE 5 live here:
+
+* a subscriber that disconnects mid-stream and resubscribes from its
+  last ``seq`` receives every confirmation and retraction exactly once,
+  in order, across the reconnect -- while ingest keeps ticking and the
+  chain keeps reorganizing in between;
+* a subscriber that cannot keep up is not buffered without bound: the
+  server sends one typed ``subscriber-overflow`` event carrying the
+  last delivered ``seq`` and closes, and resubscribing from that cursor
+  resumes with no gap and no duplicate.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from collections import Counter
+
+from repro.serve import ServeService, WireClient, record_key
+from repro.serve.wire.server import WireServer
+from repro.simulation.builder import build_default_world
+from repro.simulation.config import SimulationConfig
+from repro.stream import AlertKind
+
+from tests.serve.storm import drive_ticks, storm_tick
+
+
+def collect_until(stream, target_seq, deadline_seconds=30):
+    """Drain a stream until an alert with ``seq >= target_seq`` arrives."""
+    collected = []
+    deadline = time.perf_counter() + deadline_seconds
+    while True:
+        alert = stream.next(timeout=0.2)
+        if alert is not None:
+            collected.append(alert)
+            if alert.seq >= target_seq:
+                return collected
+        assert time.perf_counter() < deadline, (
+            f"stream stalled before seq {target_seq}; got "
+            f"{collected[-1].seq if collected else 'nothing'}"
+        )
+
+
+def test_resubscribe_from_last_seq_is_exactly_once_in_order():
+    world = build_default_world(SimulationConfig.tiny())
+    service = ServeService.for_world(world, max_reorg_depth=64)
+    server = service.serve_wire()
+    host, port = server.address
+    rng = random.Random(77)
+
+    try:
+        # Segment 1: subscribe from the very beginning, consume while
+        # ingest ticks and the chain reorganizes, then vanish mid-stream.
+        first_client = WireClient(host, port).connect()
+        first_stream = first_client.subscribe(-1)
+        drive_ticks(world, service, rng, ticks=8)
+        midpoint_seq = service.index.last_seq
+        assert midpoint_seq >= 0
+        received = collect_until(first_stream, midpoint_seq)
+        first_stream.close()  # the disconnect: no unsubscribe, no goodbye
+
+        # The world moves on while the subscriber is gone.
+        drive_ticks(world, service, rng, ticks=8)
+
+        # Segment 2: resubscribe from exactly the last seq applied.
+        resume_from = received[-1].seq
+        second_client = WireClient(host, port).connect()
+        second_stream = second_client.subscribe(resume_from)
+        drive_ticks(world, service, rng, ticks=4)
+        service.advance()  # settle the final revision
+        final_seq = service.index.last_seq
+        received.extend(collect_until(second_stream, final_seq))
+        second_stream.close()
+
+        # Exactly once, in order, across the reconnect.
+        seqs = [alert.seq for alert in received]
+        assert seqs == list(range(final_seq + 1))
+
+        # And the folded stream reconstructs the served truth --
+        # confirmations minus retractions, evidence drift included.
+        mirror: Counter = Counter()
+        retractions = 0
+        for alert in received:
+            if alert.kind is AlertKind.ACTIVITY_CONFIRMED:
+                mirror[record_key(alert.activity)] += 1
+            elif alert.kind is AlertKind.ACTIVITY_RETRACTED:
+                mirror[record_key(alert.activity)] -= 1
+                retractions += 1
+                assert mirror[record_key(alert.activity)] >= 0, (
+                    "retraction without a matching confirmation"
+                )
+        final = service.query.version()
+        assert +mirror == Counter(record.key for record in final.confirmed)
+        assert retractions > 0, "the run never exercised a retraction"
+        assert final.confirmed_activity_count > 0
+    finally:
+        service.shutdown()
+
+
+def test_slow_subscriber_gets_typed_overflow_and_resumes_cleanly():
+    world = build_default_world(SimulationConfig.tiny())
+    service = ServeService.for_world(world, max_reorg_depth=64)
+    # A deliberately tiny live queue so backpressure trips quickly; the
+    # default server stays untouched on its own port.
+    server = WireServer(service.query, subscriber_queue_size=4).start()
+    host, port = server.address
+    rng = random.Random(99)
+
+    try:
+        client = WireClient(host, port).connect()
+        stream = client.subscribe(service.index.last_seq)
+
+        # Find the server-side connection and freeze its delivery by
+        # holding the send lock -- a subscriber that stopped reading,
+        # made deterministic.
+        handler = None
+        deadline = time.perf_counter() + 10
+        while handler is None and time.perf_counter() < deadline:
+            with server._lock:
+                for connection in server._connections:
+                    if connection._subscriber is not None:
+                        handler = connection
+                        break
+            time.sleep(0.01)
+        assert handler is not None
+        subscriber = handler._subscriber
+
+        with handler.send_lock:
+            # Ingest outruns the frozen subscriber: the bounded queue
+            # fills and the fan-out marks it overflowed instead of
+            # buffering without limit.
+            deadline = time.perf_counter() + 30
+            while not subscriber.overflowed:
+                assert time.perf_counter() < deadline, "overflow never tripped"
+                storm_tick(world, service, rng)
+            assert subscriber.queue.qsize() <= 4
+
+        # Released: the pusher drains what was queued, sends the typed
+        # goodbye and closes the connection.
+        assert stream.closed.wait(timeout=30)
+        assert stream.overflow_seq is not None
+        delivered = stream.poll()
+        if delivered:
+            assert delivered[-1].seq == stream.overflow_seq
+        assert server.stats()["overflows"] == 1
+
+        # Resuming from the advertised cursor covers the rest exactly
+        # once: no gap at the overflow point, no duplicates.
+        service.advance()
+        resume = WireClient(host, port).connect()
+        resumed_stream = resume.subscribe(stream.overflow_seq)
+        tail = collect_until(resumed_stream, service.index.last_seq)
+        resumed_stream.close()
+        seqs = [alert.seq for alert in delivered] + [alert.seq for alert in tail]
+        assert seqs == list(
+            range(delivered[0].seq if delivered else tail[0].seq, service.index.last_seq + 1)
+        )
+    finally:
+        server.close()
+        service.shutdown()

@@ -1,0 +1,191 @@
+"""Multi-client soak over the wire against live ingest + reorg storm.
+
+The satellite bar (ISSUE 5): N wire clients run the mixed read workload
+(the same :class:`~repro.serve.load.LoadGenerator` the benchmarks and
+the serve CLI use, pointed at a socket through
+:class:`~repro.serve.wire.RemoteQueryService`) while the main thread
+drives ingest through a :class:`~repro.simulation.reorg.ReorgStorm`.
+When the dust settles:
+
+* no client ever observed two different answers from one pinned
+  version -- checked continuously by a dedicated auditor thread that
+  re-asks questions at pinned versions across ticks and revisions;
+* the replaying mirror reconstructs exactly the served confirmed set,
+  retractions included;
+* the final wire answers equal the in-process service at the settled
+  version (wire parity), which in turn equals a causally-clamped batch
+  build over the final canonical chain (serving parity) -- so the
+  socket, the in-process API and the paper's batch pipeline all agree.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+import time
+from collections import Counter
+
+from repro.serve import (
+    RemoteQueryService,
+    ServeService,
+    WireClient,
+    record_key,
+    serving_parity_mismatches,
+    wire_parity_mismatches,
+)
+from repro.serve.load import LoadGenerator
+from repro.simulation.builder import build_default_world
+from repro.simulation.config import SimulationConfig
+from repro.simulation.reorg import ReorgStorm
+from repro.stream import AlertKind
+
+from tests.serve.storm import storm_tick
+from tests.serve.test_serve_reorg import batch_at
+
+READER_COUNT = 3
+
+
+class PinAuditor:
+    """Asks the same questions at pinned versions, across ticks.
+
+    Remembers the first answer observed for every (version, question)
+    pair -- over its whole lifetime, so a version revisited many ticks
+    (and reorg revisions) later must still answer bit-identically --
+    and records every divergence in ``problems``.
+    """
+
+    def __init__(self, host: str, port: int, stop: threading.Event) -> None:
+        self.client = WireClient(host, port)
+        self.stop = stop
+        self.problems: list = []
+        self.checks = 0
+        self.answers: dict = {}
+        self.thread = threading.Thread(target=self.run, daemon=True)
+
+    def _observe(self, version: int, question: str, payload) -> None:
+        key = (version, question)
+        first = self.answers.setdefault(key, payload)
+        if first != payload:
+            self.problems.append(
+                f"version {version} changed its answer to {question}"
+            )
+        self.checks += 1
+
+    def step(self) -> None:
+        info = self.client.version()
+        number = info["version"]
+        self._observe(number, "version-info", info)
+        # Ask everything twice back to back: ticks and rollbacks land
+        # between the two reads all the time at storm cadence.
+        for _ in range(2):
+            self._observe(
+                number, "funnel", self.client.funnel_stats(version=number)
+            )
+            tokens = self.client.token_order(version=number)["tokens"]
+            self._observe(number, "token-order", tokens)
+            if tokens:
+                contract, token_id = tokens[0]
+                self._observe(
+                    number,
+                    "first-token-status",
+                    self.client.token_status(contract, token_id, version=number),
+                )
+            self._observe(
+                number,
+                "first-page",
+                self.client.list_confirmed(limit=5, version=number),
+            )
+
+    def run(self) -> None:
+        try:
+            self.client.connect()
+            while not self.stop.is_set():
+                self.step()
+            self.step()  # one settled pass
+        except Exception as error:  # noqa: BLE001 - surfaced by the assert
+            self.problems.append(repr(error))
+        finally:
+            self.client.close()
+
+
+def test_wire_soak_under_reorg_storm():
+    world = build_default_world(SimulationConfig.tiny())
+    service = ServeService.for_world(world, max_reorg_depth=64)
+    server = service.serve_wire()
+    host, port = server.address
+
+    stop = threading.Event()
+    remotes = [RemoteQueryService(host, port) for _ in range(READER_COUNT)]
+    generators = [
+        LoadGenerator(remote, seed=500 + slot, stop=stop, mirror=(slot == 0))
+        for slot, remote in enumerate(remotes)
+    ]
+    auditor = PinAuditor(host, port, stop)
+    for generator in generators:
+        generator.thread.start()
+    auditor.thread.start()
+
+    # The writer: follow the chain to its (reorganizing) head, then keep
+    # the head churning with further adversarial reorgs for a while --
+    # the readers soak against revisions, not just fresh blocks -- and
+    # finally one settling tick over the last canonical chain.
+    rng = random.Random(20230314)
+    storm = ReorgStorm(world, rng, max_depth=13)
+    summaries = storm.run(service.monitor)
+    churn_deadline = time.perf_counter() + 1.5
+    while time.perf_counter() < churn_deadline:
+        storm_tick(world, service, rng)
+    service.advance()
+
+    # Let the mirror's replay connection drain before freezing readers.
+    mirror_cursor = generators[0]._cursor
+    deadline = time.perf_counter() + 30
+    while mirror_cursor.position < service.index.last_seq:
+        assert time.perf_counter() < deadline, (
+            f"mirror cursor stalled at {mirror_cursor.position} / "
+            f"{service.index.last_seq}"
+        )
+        time.sleep(0.02)
+    stop.set()
+    for generator in generators:
+        generator.thread.join(timeout=30)
+        assert not generator.thread.is_alive()
+    auditor.thread.join(timeout=30)
+    assert not auditor.thread.is_alive()
+
+    try:
+        # Every reader finished clean; the storm actually stormed.
+        for generator in generators:
+            assert generator.errors == [], generator.errors[:3]
+        assert auditor.problems == [], auditor.problems[:3]
+        assert auditor.checks > 0
+        assert summaries, "the storm never reorganized the chain"
+        assert sum(generator.queries for generator in generators) > 0
+        # The soak must have exercised the revision path, not just growth.
+        kinds = {alert.kind for alert in service.index.alerts_since(-1)}
+        assert AlertKind.REORG_DETECTED in kinds
+        assert AlertKind.ACTIVITY_RETRACTED in kinds
+
+        # The replaying mirror reconstructed the served truth exactly.
+        final = service.query.version()
+        assert +generators[0].mirror == Counter(
+            record.key for record in final.confirmed
+        )
+        assert final.confirmed_activity_count > 0
+
+        # Wire == in-process at the settled version...
+        with WireClient(host, port) as client:
+            assert (
+                wire_parity_mismatches(
+                    client.connect(), service.query, server.lookup_version
+                )
+                == []
+            )
+        # ...and in-process == causally-clamped batch over the final
+        # canonical chain, so the socket agrees with the paper pipeline.
+        batch = batch_at(world, service.monitor.processed_block)
+        assert serving_parity_mismatches(service.query, batch) == []
+    finally:
+        for remote in remotes:
+            remote.close()
+        service.shutdown()

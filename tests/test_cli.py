@@ -4,7 +4,15 @@ from __future__ import annotations
 
 import pytest
 
-from repro.__main__ import PRESETS, build_monitor_parser, build_parser, main
+from repro.__main__ import (
+    PRESETS,
+    build_monitor_parser,
+    build_parser,
+    build_query_parser,
+    build_serve_parser,
+    main,
+    parse_endpoint,
+)
 
 
 class TestParser:
@@ -27,6 +35,33 @@ class TestParser:
         assert args.step_blocks == 25
         assert args.watch == []
         assert not args.quiet
+
+    def test_serve_parser_listen_endpoint(self):
+        args = build_serve_parser().parse_args([])
+        assert args.listen is None
+        args = build_serve_parser().parse_args(["--listen", "0.0.0.0:7654"])
+        assert args.listen == ("0.0.0.0", 7654)
+        args = build_serve_parser().parse_args(["--listen", ":0"])
+        assert args.listen == ("127.0.0.1", 0)
+
+    def test_endpoint_parsing_rejects_garbage(self):
+        import argparse
+
+        for bogus in ("nocolon", "host:port", "host:70000", "host:-1"):
+            with pytest.raises(argparse.ArgumentTypeError):
+                parse_endpoint(bogus)
+
+    def test_query_parser_requires_connect_and_verb(self):
+        args = build_query_parser().parse_args(
+            ["--connect", "localhost:9", "token-status", "0xabc", "5"]
+        )
+        assert args.connect == ("localhost", 9)
+        assert args.verb == "token-status"
+        assert args.contract == "0xabc" and args.token_id == 5
+        with pytest.raises(SystemExit):
+            build_query_parser().parse_args(["ping"])  # --connect missing
+        with pytest.raises(SystemExit):
+            build_query_parser().parse_args(["--connect", "h:1"])  # no verb
 
 
 class TestMain:
