@@ -30,13 +30,13 @@ def test_ablation_detectors(benchmark, paper_world, paper_report):
 
     rows = []
     for label, methods in [
-        ("all five techniques (paper)", set(DetectionMethod)),
+        ("all five techniques (paper)", set(DetectionMethod.paper_methods())),
         ("zero-risk only", {DetectionMethod.ZERO_RISK}),
         ("common funder only", {DetectionMethod.COMMON_FUNDER}),
         ("common exit only", {DetectionMethod.COMMON_EXIT}),
         ("funder + exit", {DetectionMethod.COMMON_FUNDER, DetectionMethod.COMMON_EXIT}),
     ]:
-        if methods == set(DetectionMethod):
+        if methods == set(DetectionMethod.paper_methods()):
             result = full
         elif methods == {DetectionMethod.COMMON_FUNDER, DetectionMethod.COMMON_EXIT}:
             result = funder_exit

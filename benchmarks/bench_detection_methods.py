@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from benchmarks.conftest import print_rows
 from repro.core.activity import DetectionMethod
+from repro.core.detectors.pipeline import WashTradingPipeline
 
 
 def test_detection_method_counts(benchmark, paper_report):
@@ -28,3 +29,36 @@ def test_detection_method_counts(benchmark, paper_report):
     assert counts[DetectionMethod.COMMON_FUNDER] > counts.get(DetectionMethod.ZERO_RISK, 0)
     assert counts[DetectionMethod.COMMON_EXIT] > counts.get(DetectionMethod.ZERO_RISK, 0)
     assert counts.get(DetectionMethod.SELF_TRADE, 0) > 0
+
+
+def test_volume_match_ablation(benchmark, paper_world, paper_report):
+    """Opting into the volume-matching detector adds confirmations without
+    disturbing any of the paper's five techniques (kernel engine)."""
+    methods = frozenset(DetectionMethod.paper_methods()) | {
+        DetectionMethod.VOLUME_MATCH
+    }
+    pipeline = WashTradingPipeline(
+        labels=paper_world.labels,
+        is_contract=paper_world.is_contract,
+        engine="kernel",
+        enabled_methods=methods,
+    )
+    from repro.ingest.dataset import build_dataset
+
+    dataset = build_dataset(paper_world.node, paper_world.marketplace_addresses)
+    result = benchmark.pedantic(
+        lambda: pipeline.run(dataset), iterations=1, rounds=3
+    )
+    counts = result.count_by_method()
+    baseline = paper_report.result.count_by_method()
+    print_rows(
+        "Confirmation counts with volume matching enabled (kernel engine)",
+        ["method", "activities confirmed"],
+        [
+            [method.value, count]
+            for method, count in sorted(counts.items(), key=lambda kv: kv[0].value)
+        ],
+    )
+    assert counts.get(DetectionMethod.VOLUME_MATCH, 0) > 0
+    for method in DetectionMethod.paper_methods():
+        assert counts.get(method, 0) == baseline.get(method, 0)

@@ -2,15 +2,23 @@
 
 Every case runs the full detection pipeline (refinement + confirmation)
 over a synthetic world, parametrized by world size *and* detection
-backend -- the legacy networkx path, the serial columnar engine, and the
-process-pool engine.  Select backends with ``--backends``, e.g.::
+backend -- the legacy networkx path, the serial columnar engine, the
+process-pool engine, and the numpy/CSR kernel tier.  Select backends
+with ``--backends``, e.g.::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_pipeline_scaling.py \
-        --backends legacy,engine -q
+        --backends legacy,engine,kernel -q
 
-``test_engine_beats_legacy_on_default_world`` is the acceptance check
-for the engine: best-of-three wall clock on the largest simulated world,
-columnar engine (including its store build) vs. the legacy path.
+``--smoke`` caps the worlds at "small" with fewer rounds (the CI
+kernel-smoke profile).  Two acceptance checks anchor the backend
+ordering on the largest selected world:
+
+* ``test_engine_beats_legacy_on_largest_world`` -- the columnar engine
+  (including its store build) must outrun the legacy path;
+* ``test_kernel_beats_engine_on_largest_world`` -- the kernel tier must
+  outrun the columnar engine (2x is the target; the floor asserted is
+  strictly faster), and the pure-Python fallback must never be slower
+  than the columnar engine either.
 """
 
 from __future__ import annotations
@@ -19,11 +27,17 @@ import time
 
 import pytest
 
-from benchmarks.conftest import BACKEND_PIPELINE_KWARGS
+from benchmarks.conftest import BACKEND_PIPELINE_KWARGS, kernel_status
 from repro.core.detectors.pipeline import WashTradingPipeline
 from repro.ingest.dataset import build_dataset
 from repro.simulation.builder import build_default_world
 from repro.simulation.config import SimulationConfig
+
+WORLD_CONFIGS = {
+    "tiny": SimulationConfig.tiny,
+    "small": SimulationConfig.small,
+    "default": SimulationConfig,
+}
 
 
 def run_full_pipeline(world, dataset=None, **pipeline_kwargs):
@@ -37,29 +51,24 @@ def run_full_pipeline(world, dataset=None, **pipeline_kwargs):
     return pipeline.run(dataset)
 
 
-@pytest.mark.parametrize(
-    "label,config",
-    [
-        ("tiny", SimulationConfig.tiny()),
-        ("small", SimulationConfig.small()),
-        ("default", SimulationConfig()),
-    ],
-    ids=["tiny", "small", "default"],
-)
-def test_pipeline_scaling(benchmark, label, config, backend):
-    world = build_default_world(config)
+@pytest.mark.parametrize("label", ["tiny", "small", "default"])
+def test_pipeline_scaling(benchmark, label, backend, scaling_profile):
+    if label not in scaling_profile["worlds"]:
+        pytest.skip(f"world '{label}' excluded by the --smoke profile")
+    world = build_default_world(WORLD_CONFIGS[label]())
     dataset = build_dataset(world.node, world.marketplace_addresses)
     result = benchmark.pedantic(
         run_full_pipeline,
         args=(world,),
         kwargs={"dataset": dataset, **BACKEND_PIPELINE_KWARGS[backend]},
         iterations=1,
-        rounds=3,
+        rounds=scaling_profile["rounds"],
     )
     print(
         f"\n== pipeline scaling [{label}/{backend}] =="
         f" transfers={world.chain.transaction_count()}"
         f" candidates={result.candidate_count} activities={result.activity_count}"
+        f" ({kernel_status()})"
     )
     assert result.activity_count > 0
 
@@ -76,18 +85,49 @@ def _best_of(rounds, world, dataset, **pipeline_kwargs):
     return best, result
 
 
-def test_engine_beats_legacy_on_default_world():
-    """The columnar engine must outrun the legacy path at the largest scale."""
-    world = build_default_world(SimulationConfig())
+@pytest.fixture(scope="module")
+def largest_world(scaling_profile):
+    world = build_default_world(WORLD_CONFIGS[scaling_profile["largest"]]())
     dataset = build_dataset(world.node, world.marketplace_addresses)
+    return scaling_profile["largest"], world, dataset
 
+
+def test_engine_beats_legacy_on_largest_world(largest_world):
+    """The columnar engine must outrun the legacy path at the largest scale."""
+    label, world, dataset = largest_world
     legacy_best, legacy_result = _best_of(3, world, dataset, engine="legacy")
     engine_best, engine_result = _best_of(3, world, dataset, engine="columnar")
 
     print(
-        f"\n== engine vs legacy [default world] == "
+        f"\n== engine vs legacy [{label} world] == "
         f"legacy={legacy_best:.3f}s engine={engine_best:.3f}s "
         f"speedup={legacy_best / engine_best:.2f}x"
     )
     assert engine_result.activity_count == legacy_result.activity_count
     assert engine_best < legacy_best
+
+
+def test_kernel_beats_engine_on_largest_world(largest_world):
+    """The kernel tier must outrun the columnar engine; the fallback must
+    at least match it.  Best-of-five per backend to damp machine noise."""
+    from repro.engine.kernels import force_fallback
+
+    label, world, dataset = largest_world
+    engine_best, engine_result = _best_of(5, world, dataset, engine="columnar")
+    kernel_best, kernel_result = _best_of(5, world, dataset, engine="kernel")
+    with force_fallback():
+        fallback_best, fallback_result = _best_of(
+            5, world, dataset, engine="kernel"
+        )
+
+    print(
+        f"\n== kernel vs engine [{label} world] == {kernel_status()}\n"
+        f"engine={engine_best:.3f}s kernel={kernel_best:.3f}s "
+        f"fallback={fallback_best:.3f}s | "
+        f"kernel speedup={engine_best / kernel_best:.2f}x (target 2x), "
+        f"fallback={engine_best / fallback_best:.2f}x"
+    )
+    assert kernel_result.activity_count == engine_result.activity_count
+    assert fallback_result.activity_count == engine_result.activity_count
+    assert kernel_best < engine_best
+    assert fallback_best < engine_best

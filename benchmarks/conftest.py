@@ -16,14 +16,48 @@ from repro.simulation.config import SimulationConfig
 
 #: Detection backends the backend-parametrized benchmarks can compare.
 #: "legacy" is the networkx reference path, "engine" the serial columnar
-#: engine, "engine-mp" the columnar engine on a 4-worker process pool.
-ALL_BACKENDS = ("legacy", "engine", "engine-mp")
+#: engine, "engine-mp" the columnar engine on a 4-worker process pool,
+#: "kernel" the numpy/CSR tier (compiled Tarjan when available).
+ALL_BACKENDS = ("legacy", "engine", "engine-mp", "kernel")
 
 BACKEND_PIPELINE_KWARGS = {
     "legacy": {"engine": "legacy"},
     "engine": {"engine": "columnar"},
     "engine-mp": {"engine": "columnar", "workers": 4},
+    "kernel": {"engine": "kernel"},
 }
+
+
+def kernel_status() -> str:
+    """One line describing the kernel tier this process will run with."""
+    try:
+        import numpy
+    except ImportError:
+        return "kernel tier: unavailable (no numpy)"
+    from repro.engine.kernels import active_backend
+
+    return (
+        f"kernel tier: numpy {numpy.__version__}, "
+        f"tarjan backend: {active_backend()}"
+    )
+
+
+def pytest_report_header(config):
+    """Record backend/kernel availability and world scale up front.
+
+    Benchmark numbers are meaningless without knowing whether the
+    compiled Tarjan actually loaded and how big the simulated worlds
+    are, so both are pinned into the run header.
+    """
+    scales = ", ".join(
+        f"{name}={preset().duration_days}d x {preset().legit_sales_per_day}/day"
+        for name, preset in (
+            ("tiny", SimulationConfig.tiny),
+            ("small", SimulationConfig.small),
+            ("default", SimulationConfig),
+        )
+    )
+    return [kernel_status(), f"world scale: {scales}"]
 
 
 def pytest_addoption(parser):
@@ -47,8 +81,10 @@ def pytest_addoption(parser):
         "--smoke",
         action="store_true",
         help=(
-            "shrink the serving-load benchmark (bench_serve_load) to a "
-            "CI-sized workload: tiny world, fewer query repetitions"
+            "shrink the heavy benchmarks to CI-sized workloads: "
+            "bench_serve_load runs a tiny world with fewer query "
+            "repetitions, bench_pipeline_scaling caps worlds at 'small' "
+            "and runs fewer rounds"
         ),
     )
     parser.addoption(
@@ -76,6 +112,18 @@ def wire_enabled(request):
     """Gate for the over-the-wire serving benchmarks (``--wire``)."""
     if not request.config.getoption("--wire"):
         pytest.skip("pass --wire to run the over-the-wire serving benchmarks")
+
+
+@pytest.fixture(scope="session")
+def scaling_profile(request):
+    """World sizing for ``bench_pipeline_scaling`` (``--smoke`` shrinks it).
+
+    ``largest`` names the world the backend acceptance checks run on;
+    the smoke profile keeps CI inside a small world and fewer rounds.
+    """
+    if request.config.getoption("--smoke"):
+        return {"worlds": ("tiny", "small"), "largest": "small", "rounds": 2}
+    return {"worlds": ("tiny", "small", "default"), "largest": "default", "rounds": 3}
 
 
 @pytest.fixture

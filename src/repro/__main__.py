@@ -78,6 +78,30 @@ def _add_world_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--seed", type=int, default=None, help="override the world's random seed"
     )
+    parser.add_argument(
+        "--volume-match",
+        action="store_true",
+        help=(
+            "also run the sliding-window volume-matching detector beside "
+            "the paper's confirmation funnel (off by default so headline "
+            "numbers match the paper's five techniques)"
+        ),
+    )
+
+
+def _enabled_methods(args: argparse.Namespace):
+    """The detection-method set a parsed command line asks for.
+
+    ``None`` keeps each subsystem's default (the paper's five
+    techniques); ``--volume-match`` adds the opt-in detector on top.
+    """
+    if not getattr(args, "volume_match", False):
+        return None
+    from repro.core.activity import DetectionMethod
+
+    return frozenset(DetectionMethod.paper_methods()) | {
+        DetectionMethod.VOLUME_MATCH
+    }
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -107,8 +131,9 @@ def build_parser() -> argparse.ArgumentParser:
         default="legacy",
         help=(
             "detection backend: 'legacy' runs the networkx reference "
-            "implementation, 'columnar' the sharded mask-based engine "
-            "(default: legacy)"
+            "implementation, 'columnar' the sharded mask-based engine, "
+            "'kernel' the numpy/CSR tier with the optional compiled "
+            "Tarjan (default: legacy)"
         ),
     )
     parser.add_argument(
@@ -426,7 +451,12 @@ def run_batch(argv: Sequence[str]) -> int:
 
     started = time.time()
     world = build_default_world(config)
-    report = PaperReport(world, engine=args.engine, workers=args.workers)
+    report = PaperReport(
+        world,
+        engine=args.engine,
+        workers=args.workers,
+        enabled_methods=_enabled_methods(args),
+    )
     text = report.render_text()
     elapsed = time.time() - started
 
@@ -465,6 +495,7 @@ def run_monitor(argv: Sequence[str]) -> int:
         watchlist=args.watch,
         max_reorg_depth=args.max_reorg_depth,
         retain_scan_matches=not args.bounded_memory,
+        enabled_methods=_enabled_methods(args),
     )
 
     if not args.quiet:
@@ -546,6 +577,7 @@ def run_serve(argv: Sequence[str]) -> int:
             watchlist=args.watch,
             max_reorg_depth=args.max_reorg_depth,
             retain_scan_matches=not args.bounded_memory,
+            enabled_methods=_enabled_methods(args),
         )
         service = ServeService(monitor, use_cache=not args.no_cache)
         query = service.query
@@ -623,7 +655,10 @@ def run_serve(argv: Sequence[str]) -> int:
             )
         if args.verify and not interrupted.is_set():
             batch = WashTradingPipeline(
-                labels=world.labels, is_contract=world.is_contract, engine="columnar"
+                labels=world.labels,
+                is_contract=world.is_contract,
+                engine="columnar",
+                enabled_methods=_enabled_methods(args),
             ).run(build_dataset(world.node, world.marketplace_addresses))
             mismatches = serving_parity_mismatches(query, batch)
             if mismatches:

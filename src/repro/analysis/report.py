@@ -54,6 +54,8 @@ class PaperReport:
     engine: str = "legacy"
     #: Worker processes for the columnar engine (0/1 = in-process serial).
     workers: int = 0
+    #: Detection methods to run; None keeps the pipeline's paper set.
+    enabled_methods: Optional[frozenset] = None
     _dataset: Optional[NFTDataset] = field(default=None, repr=False)
     _result: Optional[PipelineResult] = field(default=None, repr=False)
 
@@ -77,6 +79,7 @@ class PaperReport:
                 config=self.detection_config,
                 engine=self.engine,
                 workers=self.workers,
+                enabled_methods=self.enabled_methods,
             )
             self._result = pipeline.run(self.dataset)
         return self._result

@@ -59,6 +59,12 @@ class DetectionConfig:
     #: Use the NetworkX SCC implementation (True, as the paper does) or the
     #: independent Tarjan implementation (False).
     use_networkx_scc: bool = True
+    #: Sliding window sizes of the volume-matching detector, in seconds,
+    #: tried smallest-first (hour, day, week by default).
+    volume_match_windows: Tuple[int, ...] = (3600, 86400, 604800)
+    #: Minimum transfers inside a window for a volume match to count (a
+    #: single transfer can never be a round trip).
+    volume_match_min_transfers: int = 2
 
 
 class Detector(Protocol):

@@ -24,6 +24,7 @@ from repro.core.detectors.common_exit import CommonExitDetector
 from repro.core.detectors.common_funder import CommonFunderDetector
 from repro.core.detectors.repeated_scc import confirm_repeated_components
 from repro.core.detectors.self_trade import SelfTradeDetector
+from repro.core.detectors.volume_match import VolumeMatchDetector
 from repro.core.detectors.zero_risk import ZeroRiskDetector
 from repro.core.refine import RefinementFunnel, RefinementResult
 from repro.ingest.dataset import NFTDataset
@@ -146,6 +147,8 @@ def build_detectors(enabled_methods: Iterable[DetectionMethod]) -> List[Detector
         detectors.append(CommonExitDetector())
     if DetectionMethod.SELF_TRADE in enabled:
         detectors.append(SelfTradeDetector())
+    if DetectionMethod.VOLUME_MATCH in enabled:
+        detectors.append(VolumeMatchDetector())
     return detectors
 
 
@@ -155,11 +158,15 @@ class WashTradingPipeline:
     ``engine`` selects the execution backend: ``"legacy"`` (the default)
     runs the original networkx reference implementation; ``"columnar"``
     runs the mask-based engine in :mod:`repro.engine`, optionally
-    sharded across ``workers`` processes.  Both backends produce the
-    same :class:`PipelineResult` (see ``tests/engine/test_parity.py``).
+    sharded across ``workers`` processes; ``"kernel"`` is the columnar
+    engine with the numpy/CSR refinement and (when a C compiler is
+    around) compiled Tarjan kernels of :mod:`repro.engine.kernels`.
+    All backends produce the same :class:`PipelineResult` (see
+    ``tests/engine/test_parity.py`` and
+    ``tests/engine/test_kernel_parity.py``).
     """
 
-    ENGINES = ("legacy", "columnar")
+    ENGINES = ("legacy", "columnar", "kernel")
 
     def __init__(
         self,
@@ -176,13 +183,26 @@ class WashTradingPipeline:
             raise ValueError(
                 f"unknown engine {engine!r}; expected one of {self.ENGINES}"
             )
+        if engine == "kernel":
+            try:
+                import repro.engine.kernels  # noqa: F401
+            except ImportError:
+                import warnings
+
+                warnings.warn(
+                    "numpy is unavailable; engine='kernel' degrades to the "
+                    "columnar engine",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                engine = "columnar"
         self.labels = labels
         self.is_contract = is_contract
         self.config = config or DetectionConfig()
         self.enabled_methods = (
             set(enabled_methods)
             if enabled_methods is not None
-            else set(DetectionMethod)
+            else set(DetectionMethod.paper_methods())
         )
         self.funnel = funnel or RefinementFunnel(labels=labels, is_contract=is_contract)
         self.engine = engine
@@ -207,6 +227,7 @@ class WashTradingPipeline:
             skip_service_removal=self.funnel.skip_service_removal,
             skip_contract_removal=self.funnel.skip_contract_removal,
             skip_zero_volume_removal=self.funnel.skip_zero_volume_removal,
+            use_kernels=(self.engine == "kernel"),
         )
         return PipelineResult(
             refinement=refinement, activities=activities, unconfirmed=unconfirmed
@@ -214,7 +235,7 @@ class WashTradingPipeline:
 
     def run(self, dataset: NFTDataset) -> PipelineResult:
         """Run refinement and every enabled confirmation technique."""
-        if self.engine == "columnar":
+        if self.engine in ("columnar", "kernel"):
             return self._run_engine(dataset)
         refinement = self.funnel.run(dataset)
         context = DetectionContext(

@@ -27,10 +27,15 @@ def tarjan_scc_adjacency(
     """Iterative Tarjan SCC over an integer adjacency list.
 
     Nodes are the integers ``0 .. node_count - 1``; ``adjacency[u]`` lists
-    the successors of ``u`` (duplicates are harmless, so multigraph edges
-    can be passed as-is).  Returns every strongly connected component,
-    including trivial single-node ones, in reverse topological order of
-    the condensation (the classic Tarjan emission order).
+    the successors of ``u``.  Duplicate successors are tolerated (they
+    only re-check an already-visited node) but cost time on every walk,
+    so builders are expected to dedupe edges once at construction --
+    ``token_components`` and the CSR builder in
+    :mod:`repro.engine.kernels` both keep the first occurrence, which
+    leaves discovery and emission order unchanged.  Returns every
+    strongly connected component, including trivial single-node ones, in
+    reverse topological order of the condensation (the classic Tarjan
+    emission order).
     """
     index = [-1] * node_count
     lowlink = [0] * node_count

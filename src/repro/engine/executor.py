@@ -86,6 +86,10 @@ class SharedPayload:
     skip_service_removal: bool = False
     skip_contract_removal: bool = False
     skip_zero_volume_removal: bool = False
+    #: Route refinement through the numpy/CSR kernels of
+    #: :mod:`repro.engine.kernels` and cache detector money flows
+    #: (the ``engine="kernel"`` tier).
+    use_kernels: bool = False
 
 
 @dataclass
@@ -120,7 +124,13 @@ def partition_tokens(nfts: Sequence[NFTKey], shard_count: int) -> List[List[NFTK
 
 def _run_shard(tokens: Sequence[TokenColumns], payload: SharedPayload) -> ShardResult:
     """Refine one shard's tokens and run the per-component detectors."""
-    refinement = refine_tokens(
+    if payload.use_kernels:
+        from repro.engine.kernels import refine_tokens_kernel
+
+        refine = refine_tokens_kernel
+    else:
+        refine = refine_tokens
+    refinement = refine(
         payload.accounts,
         tokens,
         service_ids=payload.service_ids,
@@ -138,6 +148,10 @@ def _run_shard(tokens: Sequence[TokenColumns], payload: SharedPayload) -> ShardR
         is_contract=AccountSetPredicate(payload.contract_addresses),
         config=payload.config,
     )
+    if payload.use_kernels:
+        from repro.engine.kernels.context import CachingDetectionContext
+
+        context = CachingDetectionContext(context)
     activities: List[WashTradingActivity] = []
     unconfirmed: List[CandidateComponent] = []
     for component in refinement.candidates:
@@ -185,6 +199,7 @@ def run_columnar_pipeline(
     skip_contract_removal: bool = False,
     skip_zero_volume_removal: bool = False,
     store: Optional[ColumnarTransferStore] = None,
+    use_kernels: bool = False,
 ) -> Tuple[RefinementResult, List[WashTradingActivity], List[CandidateComponent]]:
     """Run the full engine pipeline and return the merged pieces.
 
@@ -200,7 +215,7 @@ def run_columnar_pipeline(
     methods = (
         frozenset(enabled_methods)
         if enabled_methods is not None
-        else frozenset(DetectionMethod)
+        else frozenset(DetectionMethod.paper_methods())
     )
     # Skipped stages never pay the per-account predicate cost (a bytecode
     # or label check per interned account on real deployments).
@@ -224,6 +239,7 @@ def run_columnar_pipeline(
         skip_service_removal=skip_service_removal,
         skip_contract_removal=skip_contract_removal,
         skip_zero_volume_removal=skip_zero_volume_removal,
+        use_kernels=use_kernels,
     )
 
     shard_count = shards if shards is not None else (workers * 4 if workers > 1 else 1)

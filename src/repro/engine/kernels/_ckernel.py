@@ -1,0 +1,168 @@
+"""Optional compiled Tarjan kernel.
+
+A small C implementation of the iterative Tarjan SCC over CSR arrays,
+compiled on first use with whatever C compiler the host has (``cc``,
+``gcc`` or ``clang``) and loaded through ctypes.  Compiled libraries are
+cached next to this module under ``_build/``, keyed by a hash of the C
+source, so each source revision compiles exactly once per machine.
+
+Everything degrades silently to the pure-Python fallback in
+:mod:`repro.engine.kernels.tarjan`: no compiler on PATH, a failed
+compile, a failed load, or ``REPRO_NO_CKERNEL=1`` in the environment all
+make :func:`load_kernel` return ``None``.  The outcome is cached for the
+lifetime of the process -- the environment switch is a process-level
+decision; tests that need both paths in one process use
+:func:`repro.engine.kernels.tarjan.force_fallback` instead.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+#: Set to any non-empty value to disable the compiled kernel entirely.
+ENV_DISABLE = "REPRO_NO_CKERNEL"
+
+_SOURCE = r"""
+#include <stdint.h>
+
+/* Iterative Tarjan SCC over a CSR graph (indptr/indices), int64
+ * throughout.  comp_of[v] receives the component id of v; components
+ * are numbered in emission order, i.e. reverse topological order of
+ * the condensation -- exactly the order tarjan_scc_adjacency emits.
+ * scratch must hold 6*n int64 slots.  Returns the component count. */
+int64_t repro_tarjan_csr(int64_t n,
+                         const int64_t *indptr,
+                         const int64_t *indices,
+                         int64_t *comp_of,
+                         int64_t *scratch)
+{
+    int64_t *num = scratch;
+    int64_t *low = scratch + n;
+    int64_t *pos = scratch + 2 * n;
+    int64_t *stack = scratch + 3 * n;
+    int64_t *on_stack = scratch + 4 * n;
+    int64_t *call = scratch + 5 * n;
+    int64_t counter = 0, comp_count = 0, sp = 0;
+    int64_t i, root;
+    for (i = 0; i < n; i++) {
+        num[i] = -1;
+        on_stack[i] = 0;
+    }
+    for (root = 0; root < n; root++) {
+        int64_t csp;
+        if (num[root] != -1) continue;
+        csp = 0;
+        call[csp++] = root;
+        num[root] = low[root] = counter++;
+        pos[root] = indptr[root];
+        stack[sp++] = root;
+        on_stack[root] = 1;
+        while (csp > 0) {
+            int64_t v = call[csp - 1];
+            if (pos[v] < indptr[v + 1]) {
+                int64_t w = indices[pos[v]++];
+                if (num[w] == -1) {
+                    num[w] = low[w] = counter++;
+                    pos[w] = indptr[w];
+                    stack[sp++] = w;
+                    on_stack[w] = 1;
+                    call[csp++] = w;
+                } else if (on_stack[w] && num[w] < low[v]) {
+                    low[v] = num[w];
+                }
+            } else {
+                csp--;
+                if (csp > 0 && low[v] < low[call[csp - 1]])
+                    low[call[csp - 1]] = low[v];
+                if (low[v] == num[v]) {
+                    int64_t w;
+                    do {
+                        w = stack[--sp];
+                        on_stack[w] = 0;
+                        comp_of[w] = comp_count;
+                    } while (w != v);
+                    comp_count++;
+                }
+            }
+        }
+    }
+    return comp_count;
+}
+"""
+
+_kernel: Optional[ctypes._CFuncPtr] = None  # type: ignore[name-defined]
+_attempted = False
+
+
+def _build_dir() -> Path:
+    return Path(__file__).resolve().parent / "_build"
+
+
+def source_digest() -> str:
+    """Hash of the embedded C source (the compile-cache key)."""
+    return hashlib.sha256(_SOURCE.encode("utf-8")).hexdigest()[:16]
+
+
+def _compile_and_load():
+    digest = source_digest()
+    build = _build_dir()
+    lib_path = build / f"tarjan_{digest}.so"
+    if not lib_path.exists():
+        compiler = (
+            shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
+        )
+        if compiler is None:
+            return None
+        build.mkdir(parents=True, exist_ok=True)
+        source_path = build / f"tarjan_{digest}.c"
+        source_path.write_text(_SOURCE)
+        # Compile to a unique temp name and move into place atomically,
+        # so concurrent processes racing on a cold cache never load a
+        # half-written library.
+        fd, tmp_name = tempfile.mkstemp(dir=build, suffix=".so")
+        os.close(fd)
+        try:
+            compiled = subprocess.run(
+                [compiler, "-O3", "-shared", "-fPIC", "-o", tmp_name, str(source_path)],
+                capture_output=True,
+                timeout=120,
+            )
+            if compiled.returncode != 0:
+                return None
+            os.replace(tmp_name, lib_path)
+        finally:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+    library = ctypes.CDLL(str(lib_path))
+    kernel = library.repro_tarjan_csr
+    kernel.restype = ctypes.c_int64
+    kernel.argtypes = [
+        ctypes.c_int64,
+        ctypes.POINTER(ctypes.c_int64),
+        ctypes.POINTER(ctypes.c_int64),
+        ctypes.POINTER(ctypes.c_int64),
+        ctypes.POINTER(ctypes.c_int64),
+    ]
+    return kernel
+
+
+def load_kernel():
+    """The compiled Tarjan entry point, or ``None`` when unavailable."""
+    global _kernel, _attempted
+    if _attempted:
+        return _kernel
+    _attempted = True
+    if os.environ.get(ENV_DISABLE):
+        return None
+    try:
+        _kernel = _compile_and_load()
+    except Exception:
+        _kernel = None
+    return _kernel

@@ -16,7 +16,9 @@ parity proofs.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
+from itertools import chain
 from typing import FrozenSet, Iterable, List, NamedTuple, Sequence, Set, Tuple
 
 from repro.core.activity import CandidateComponent
@@ -42,19 +44,47 @@ class TokenComponent(NamedTuple):
     rows: Tuple[int, ...]
 
 
+def _sorted_union(left: array, right: array) -> array:
+    """Union of two sorted distinct-id arrays as a sorted distinct array.
+
+    ``sorted`` over the concatenation is effectively linear here --
+    timsort gallops across the two pre-sorted runs -- so folding shard
+    statistics together never hashes an account id.  The inputs are
+    treated as immutable and may be returned directly.
+    """
+    if not left:
+        return right
+    if not right:
+        return left
+    fused = sorted(chain(left, right))
+    out = array("q")
+    previous = None
+    for value in fused:
+        if value != previous:
+            out.append(value)
+            previous = value
+    return out
+
+
 @dataclass
 class StageAccumulator:
     """Mergeable per-stage funnel statistics.
 
-    Unlike :class:`FunnelStage` this keeps the raw account-id set, so
+    Unlike :class:`FunnelStage` this keeps the raw account ids, so
     statistics computed independently per shard can be merged without
-    double-counting accounts shared between shards.
+    double-counting accounts shared between shards.  Ids live in a
+    sorted, distinct ``array("q")``: :meth:`add` buffers one token's
+    member ids in a small scratch set, and :meth:`merge` /
+    :meth:`to_stage` fold the buffer in with a sorted-array union, so
+    cross-shard merges are linear array fusions instead of per-shard
+    hash-set churn.
     """
 
     name: str
     nft_count: int = 0
     component_count: int = 0
-    account_ids: Set[int] = field(default_factory=set)
+    _sorted_ids: array = field(default_factory=lambda: array("q"))
+    _fresh_ids: Set[int] = field(default_factory=set)
 
     def add(self, components: Sequence[TokenComponent]) -> None:
         """Record one token's surviving components at this stage."""
@@ -63,13 +93,27 @@ class StageAccumulator:
         self.nft_count += 1
         self.component_count += len(components)
         for component in components:
-            self.account_ids.update(component.member_ids)
+            self._fresh_ids.update(component.member_ids)
+
+    def _normalized(self) -> array:
+        """The distinct ids seen so far, as one sorted array."""
+        if self._fresh_ids:
+            self._sorted_ids = _sorted_union(
+                self._sorted_ids, array("q", sorted(self._fresh_ids))
+            )
+            self._fresh_ids = set()
+        return self._sorted_ids
+
+    @property
+    def account_ids(self) -> Set[int]:
+        """Materialized view of the distinct account ids recorded."""
+        return set(self._normalized())
 
     def merge(self, other: "StageAccumulator") -> None:
         """Fold another shard's statistics into this one."""
         self.nft_count += other.nft_count
         self.component_count += other.component_count
-        self.account_ids.update(other.account_ids)
+        self._sorted_ids = _sorted_union(self._normalized(), other._normalized())
 
     def to_stage(self) -> FunnelStage:
         """Freeze into the report-facing statistics record."""
@@ -77,7 +121,7 @@ class StageAccumulator:
             name=self.name,
             nft_count=self.nft_count,
             component_count=self.component_count,
-            account_count=len(self.account_ids),
+            account_count=len(self._normalized()),
         )
 
 
@@ -97,6 +141,11 @@ def token_components(
     adjacency: List[List[int]] = []
     self_loop: List[bool] = []
     surviving_rows: List[int] = []
+    # Multigraph edges are deduplicated here, at build time, keeping the
+    # first occurrence: repeated successors only make every Tarjan walk
+    # re-check an already-visited node, and first-occurrence order
+    # preserves the walk's discovery (and thus emission) order exactly.
+    seen_edges: Set[Tuple[int, int]] = set()
 
     for row in range(len(senders)):
         sender = senders[row]
@@ -118,7 +167,10 @@ def token_components(
             nodes.append(recipient)
             adjacency.append([])
             self_loop.append(False)
-        adjacency[local_sender].append(local_recipient)
+        edge = (local_sender, local_recipient)
+        if edge not in seen_edges:
+            seen_edges.add(edge)
+            adjacency[local_sender].append(local_recipient)
         if local_sender == local_recipient:
             self_loop[local_sender] = True
 

@@ -59,6 +59,27 @@ class TokenColumns:
             return not self.account_ids.isdisjoint(excluded)
         return not excluded.isdisjoint(self.account_ids)
 
+    def as_arrays(self):
+        """Zero-copy numpy views over the columns.
+
+        Returns ``(timestamps, senders, recipients, payment_flags)`` as
+        int64/int64/int64/uint8 arrays sharing the ``array("q")`` /
+        ``bytes`` buffers -- nothing is copied.  The views pin the
+        underlying buffers while alive (``array.append`` raises
+        ``BufferError`` on an exporting array), so callers must drop
+        them before the store grows, and must re-take them after any
+        append: extending an ``array`` may reallocate its buffer, which
+        a previously taken view does not follow.
+        """
+        import numpy
+
+        return (
+            numpy.frombuffer(self.timestamps, dtype=numpy.int64),
+            numpy.frombuffer(self.senders, dtype=numpy.int64),
+            numpy.frombuffer(self.recipients, dtype=numpy.int64),
+            numpy.frombuffer(self.payment_flags, dtype=numpy.uint8),
+        )
+
 
 class ColumnarTransferStore:
     """Every NFT's transfers in interned, columnar form.
@@ -101,28 +122,26 @@ class ColumnarTransferStore:
         this aliasing guarantee.
         """
         ordered = tuple(sorted(transfers, key=_row_sort_key))
-        timestamps = array("q")
-        senders = array("q")
-        recipients = array("q")
-        payment_flags = bytearray(len(ordered))
-        token_ids: set[int] = set()
-        for row, transfer in enumerate(ordered):
-            sender_id = self.intern(transfer.sender)
-            recipient_id = self.intern(transfer.recipient)
-            timestamps.append(transfer.timestamp)
-            senders.append(sender_id)
-            recipients.append(recipient_id)
-            if transfer.has_payment:
-                payment_flags[row] = 1
-            token_ids.add(sender_id)
-            token_ids.add(recipient_id)
+        # Comprehensions + array-from-list beat per-row appends; this is
+        # the hottest loop of the store build.
+        intern = self.intern
+        sender_ids = [intern(transfer.sender) for transfer in ordered]
+        recipient_ids = [intern(transfer.recipient) for transfer in ordered]
+        timestamps = array("q", [transfer.timestamp for transfer in ordered])
+        senders = array("q", sender_ids)
+        recipients = array("q", recipient_ids)
+        payment_flags = bytes(
+            1 if transfer.has_payment else 0 for transfer in ordered
+        )
+        token_ids = set(sender_ids)
+        token_ids.update(recipient_ids)
         columns = self.tokens.get(nft)
         if columns is not None:
             columns.transfers = ordered
             columns.timestamps = timestamps
             columns.senders = senders
             columns.recipients = recipients
-            columns.payment_flags = bytes(payment_flags)
+            columns.payment_flags = payment_flags
             columns.account_ids = frozenset(token_ids)
             return columns
         columns = TokenColumns(
@@ -131,7 +150,7 @@ class ColumnarTransferStore:
             timestamps=timestamps,
             senders=senders,
             recipients=recipients,
-            payment_flags=bytes(payment_flags),
+            payment_flags=payment_flags,
             account_ids=frozenset(token_ids),
         )
         self.tokens[nft] = columns

@@ -70,6 +70,7 @@ class StreamingMonitor:
         max_reorg_depth: int = DEFAULT_MAX_REORG_DEPTH,
         retain_scan_matches: bool = True,
         on_subscriber_error: Optional[Callable[[SubscriberError], None]] = None,
+        use_kernels: Optional[bool] = None,
     ) -> None:
         self.node = node
         self.cursor = DatasetCursor(
@@ -86,6 +87,7 @@ class StreamingMonitor:
             is_contract=is_contract,
             config=config,
             enabled_methods=enabled_methods,
+            use_kernels=use_kernels,
         )
         #: The detectors read the cursor's live account-transaction dict.
         self.context = DetectionContext(

@@ -109,6 +109,7 @@ class DirtyTokenScheduler:
         skip_service_removal: bool = False,
         skip_contract_removal: bool = False,
         skip_zero_volume_removal: bool = False,
+        use_kernels: Optional[bool] = None,
     ) -> None:
         self.store = store
         self.labels = labels
@@ -117,12 +118,24 @@ class DirtyTokenScheduler:
         self.methods = (
             frozenset(enabled_methods)
             if enabled_methods is not None
-            else frozenset(DetectionMethod)
+            else frozenset(DetectionMethod.paper_methods())
         )
         self.detectors = build_detectors(self.methods)
         self.skip_service_removal = skip_service_removal
         self.skip_contract_removal = skip_contract_removal
         self.skip_zero_volume_removal = skip_zero_volume_removal
+        # None = auto: batch each tick's dirty tokens through the
+        # numpy/CSR kernels when numpy is importable (kernel output is
+        # pinned identical to the interpreted path, so this is purely a
+        # speed decision).
+        if use_kernels is None:
+            try:
+                import repro.engine.kernels  # noqa: F401
+
+                use_kernels = True
+            except ImportError:
+                use_kernels = False
+        self.use_kernels = use_kernels
         self._repeat_enabled = DetectionMethod.REPEATED_SCC in self.methods
 
         #: Exclusion masks, grown as new accounts are interned.
@@ -204,17 +217,25 @@ class DirtyTokenScheduler:
             return report
         self._refresh_masks()
 
+        refinements = self._refine_live(live) if live else []
+        if live and self.use_kernels:
+            # Fresh per-tick wrap: account transaction lists grow between
+            # ticks, so the cache must never outlive the tick.
+            from repro.engine.kernels import CachingDetectionContext
+
+            context = CachingDetectionContext(context)
+
         flipped_sets: Set[FrozenSet[str]] = set()
         for nft in vanished:
             self._retire_state(nft, self.states.pop(nft), flipped_sets)
-        for nft in live:
+        for nft, refinement in zip(live, refinements):
             if nft not in self._token_order:
                 self._token_order[nft] = self._order_serial
                 self._order_serial += 1
             old = self.states.get(nft)
             if old is not None:
                 self._retire_state(nft, old, flipped_sets)
-            state = self._compute_state(nft, context)
+            state = self._detect_state(refinement, context)
             self._install_state(nft, state, flipped_sets)
 
         affected = set(live) | set(vanished)
@@ -314,17 +335,41 @@ class DirtyTokenScheduler:
         self._service_mask = frozenset(self._service_ids)
         self._contract_mask = frozenset(self._contract_ids)
 
-    def _compute_state(self, nft: NFTKey, context: DetectionContext) -> TokenState:
-        """Refine one token and run the per-component detectors."""
-        refinement = refine_tokens(
-            self.store.accounts,
-            [self.store.tokens[nft]],
-            service_ids=self._service_mask,
-            contract_ids=self._contract_mask,
-            skip_service_removal=self.skip_service_removal,
-            skip_contract_removal=self.skip_contract_removal,
-            skip_zero_volume_removal=self.skip_zero_volume_removal,
-        )
+    def _refine_live(self, live: List[NFTKey]):
+        """Refine the tick's live dirty tokens, one result per token.
+
+        The kernel path batches every dirty token of the tick into a
+        single CSR pass; the interpreted path refines token by token.
+        Both return per-token results in ``live`` order with identical
+        content.
+        """
+        if self.use_kernels:
+            from repro.engine.kernels import refine_token_states
+
+            return refine_token_states(
+                self.store.accounts,
+                [self.store.tokens[nft] for nft in live],
+                service_ids=self._service_mask,
+                contract_ids=self._contract_mask,
+                skip_service_removal=self.skip_service_removal,
+                skip_contract_removal=self.skip_contract_removal,
+                skip_zero_volume_removal=self.skip_zero_volume_removal,
+            )
+        return [
+            refine_tokens(
+                self.store.accounts,
+                [self.store.tokens[nft]],
+                service_ids=self._service_mask,
+                contract_ids=self._contract_mask,
+                skip_service_removal=self.skip_service_removal,
+                skip_contract_removal=self.skip_contract_removal,
+                skip_zero_volume_removal=self.skip_zero_volume_removal,
+            )
+            for nft in live
+        ]
+
+    def _detect_state(self, refinement, context: DetectionContext) -> TokenState:
+        """Run the per-component detectors over one token's refinement."""
         evidence_lists: List[List[DetectionEvidence]] = []
         for component in refinement.candidates:
             evidence: List[DetectionEvidence] = []

@@ -1,0 +1,271 @@
+"""Parity proofs: the kernel tier reproduces the interpreted engine.
+
+Mirrors ``tests/engine/test_parity.py`` one tier up: every output of the
+kernel-backed refinement (:func:`refine_tokens_kernel`,
+:func:`refine_token_states`) and of ``WashTradingPipeline(engine=
+"kernel")`` must be identical to the interpreted columnar path and the
+legacy networkx path -- compiled backend and pure-Python fallback, batch
+(serial and process-pool) and streaming, in-order and through a reorg
+storm.  The opt-in volume-match detector is pinned batch == stream here
+as well.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import defaultdict
+from contextlib import nullcontext
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.activity import DetectionMethod
+from repro.core.detectors.base import DetectionContext
+from repro.core.detectors.pipeline import WashTradingPipeline
+from repro.engine.executor import TransactionView
+from repro.engine.kernels import (
+    force_fallback,
+    refine_token_states,
+    refine_tokens_kernel,
+)
+from repro.engine.refine import refine_tokens
+from repro.engine.store import ColumnarTransferStore
+from repro.ingest.dataset import build_dataset
+from repro.simulation.builder import build_default_world
+from repro.simulation.config import SimulationConfig
+from repro.simulation.reorg import ReorgStorm
+from repro.stream import DirtyTokenScheduler, StreamingMonitor
+from tests.engine.test_parity import (
+    CONTRACT_SET,
+    activity_key,
+    candidate_key,
+    make_labels,
+    minimal_dataset,
+    random_histories,
+    run_backend,
+)
+from tests.stream.test_stream_parity import assert_results_match
+
+BACKENDS = ["compiled", "fallback"]
+
+
+def backend_context(backend):
+    """``force_fallback`` for the fallback runs, a no-op otherwise.
+
+    When no C compiler is available the "compiled" runs silently take
+    the fallback too (that *is* the graceful-degradation contract); the
+    CI kernel-smoke job covers both states explicitly.
+    """
+    return force_fallback() if backend == "fallback" else nullcontext()
+
+
+def stages_of(refinement):
+    return [stage.to_stage() for stage in refinement.stages]
+
+
+def assert_refinements_equal(kernel, interpreted):
+    assert stages_of(kernel) == stages_of(interpreted)
+    assert list(map(candidate_key, kernel.candidates)) == list(
+        map(candidate_key, interpreted.candidates)
+    )
+
+
+def assert_full_parity(engine, legacy):
+    assert engine.refinement.stages == legacy.refinement.stages
+    assert sorted(map(candidate_key, engine.refinement.candidates)) == sorted(
+        map(candidate_key, legacy.refinement.candidates)
+    )
+    assert sorted(map(activity_key, engine.activities)) == sorted(
+        map(activity_key, legacy.activities)
+    )
+    assert len(engine.unconfirmed) == len(legacy.unconfirmed)
+    assert engine.count_by_method() == legacy.count_by_method()
+    assert engine.venn_counts() == legacy.venn_counts()
+    assert engine.washed_nfts() == legacy.washed_nfts()
+
+
+# -- refinement-layer parity ---------------------------------------------------
+
+
+@settings(max_examples=40, deadline=None)
+@given(random_histories(), st.booleans(), st.booleans(), st.booleans())
+def test_kernel_refinement_matches_interpreted(
+    histories, skip_services, skip_contracts, skip_zero_volume
+):
+    """Stage statistics, candidates and order agree, both backends."""
+    labels = make_labels()
+    store = ColumnarTransferStore.from_transfers(histories)
+    kwargs = dict(
+        service_ids=store.ids_matching(labels.is_graph_excluded_service),
+        contract_ids=store.ids_matching(CONTRACT_SET.__contains__),
+        skip_service_removal=skip_services,
+        skip_contract_removal=skip_contracts,
+        skip_zero_volume_removal=skip_zero_volume,
+    )
+    interpreted = refine_tokens(store.accounts, store, **kwargs)
+    for backend in BACKENDS:
+        with backend_context(backend):
+            kernel = refine_tokens_kernel(store.accounts, list(store), **kwargs)
+        assert_refinements_equal(kernel, interpreted)
+
+
+@settings(max_examples=30, deadline=None)
+@given(random_histories())
+def test_refine_token_states_matches_single_token_runs(histories):
+    """Element i of the batched pass equals a lone run over token i."""
+    labels = make_labels()
+    store = ColumnarTransferStore.from_transfers(histories)
+    service_ids = store.ids_matching(labels.is_graph_excluded_service)
+    contract_ids = store.ids_matching(CONTRACT_SET.__contains__)
+    tokens = list(store)
+    states = refine_token_states(store.accounts, tokens, service_ids, contract_ids)
+    assert len(states) == len(tokens)
+    for columns, state in zip(tokens, states):
+        single = refine_tokens(
+            store.accounts, [columns], service_ids, contract_ids
+        )
+        assert_refinements_equal(state, single)
+
+
+# -- full pipeline parity ------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset(tiny_world):
+    return build_dataset(tiny_world.node, tiny_world.marketplace_addresses)
+
+
+@pytest.fixture(scope="module")
+def tiny_legacy(tiny_world, tiny_dataset):
+    return run_backend(tiny_world, tiny_dataset)
+
+
+class TestKernelPipelineParity:
+    @pytest.mark.parametrize("workers", [0, 2], ids=["serial", "process-pool"])
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_kernel_engine_matches_legacy(
+        self, tiny_world, tiny_dataset, tiny_legacy, workers, backend
+    ):
+        with backend_context(backend):
+            kernel = run_backend(
+                tiny_world, tiny_dataset, engine="kernel", workers=workers
+            )
+        assert_full_parity(kernel, tiny_legacy)
+
+    def test_kernel_engine_matches_columnar(self, tiny_world, tiny_dataset):
+        columnar = run_backend(tiny_world, tiny_dataset, engine="columnar")
+        kernel = run_backend(tiny_world, tiny_dataset, engine="kernel")
+        assert kernel.refinement.stages == columnar.refinement.stages
+        assert list(map(candidate_key, kernel.refinement.candidates)) == list(
+            map(candidate_key, columnar.refinement.candidates)
+        )
+        assert sorted(map(activity_key, kernel.activities)) == sorted(
+            map(activity_key, columnar.activities)
+        )
+
+
+# -- streaming parity ----------------------------------------------------------
+
+
+def replay_through_scheduler(histories, block_order, use_kernels):
+    """Feed one transfer history to a scheduler, one block per tick."""
+    labels = make_labels()
+    is_contract = CONTRACT_SET.__contains__
+    store = ColumnarTransferStore()
+    scheduler = DirtyTokenScheduler(
+        store, labels=labels, is_contract=is_contract, use_kernels=use_kernels
+    )
+    context = DetectionContext(
+        dataset=TransactionView({}), labels=labels, is_contract=is_contract
+    )
+    by_block = defaultdict(lambda: defaultdict(list))
+    for nft, transfers in histories.items():
+        for transfer in transfers:
+            by_block[transfer.block_number][nft].append(transfer)
+    for block in block_order:
+        touched = store.extend(by_block.get(block, {}))
+        scheduler.process(touched, context)
+    return scheduler.result()
+
+
+@settings(max_examples=25, deadline=None)
+@given(random_histories(), st.randoms(use_true_random=False))
+def test_scheduler_kernel_path_matches_interpreted_and_batch(histories, rng):
+    """Kernel and interpreted scheduling converge to the batch result,
+    even with blocks arriving out of order (the reorg-shaped append
+    fallback path)."""
+    blocks = sorted(
+        {t.block_number for transfers in histories.values() for t in transfers}
+    )
+    shuffled = list(blocks)
+    rng.shuffle(shuffled)
+    kernel = replay_through_scheduler(histories, shuffled, use_kernels=True)
+    interpreted = replay_through_scheduler(histories, shuffled, use_kernels=False)
+    labels = make_labels()
+    batch = WashTradingPipeline(
+        labels=labels, is_contract=CONTRACT_SET.__contains__, engine="kernel"
+    ).run(minimal_dataset(histories))
+    assert_results_match(kernel, batch)
+    assert_results_match(interpreted, batch)
+
+
+def test_reorg_storm_with_kernels_matches_batch():
+    """A randomized advance/reorg/advance storm on the kernel scheduler
+    still equals a fresh kernel-engine batch build of the final chain."""
+    world = build_default_world(SimulationConfig.tiny())
+    monitor = StreamingMonitor.for_world(
+        world, max_reorg_depth=64, use_kernels=True
+    )
+    storm = ReorgStorm(
+        world,
+        random.Random(7),
+        reorg_probability=0.45,
+        max_depth=13,
+        drop_probability=0.3,
+        delay_probability=0.25,
+        max_shorten=2,
+        step_range=(5, 90),
+    )
+    summaries = storm.run(monitor)
+    assert summaries, "the storm must actually reorg"
+    dataset = build_dataset(world.node, world.marketplace_addresses)
+    batch = WashTradingPipeline(
+        labels=world.labels, is_contract=world.is_contract, engine="kernel"
+    ).run(dataset)
+    assert_results_match(monitor.result(), batch, ordered=True)
+
+
+# -- volume-match across execution paths ---------------------------------------
+
+
+class TestVolumeMatchParity:
+    METHODS = frozenset(DetectionMethod.paper_methods()) | {
+        DetectionMethod.VOLUME_MATCH
+    }
+
+    def test_batch_engines_agree_with_volume_match(
+        self, tiny_world, tiny_dataset
+    ):
+        legacy = run_backend(tiny_world, tiny_dataset, enabled_methods=self.METHODS)
+        kernel = run_backend(
+            tiny_world, tiny_dataset, enabled_methods=self.METHODS, engine="kernel"
+        )
+        assert_full_parity(kernel, legacy)
+        assert DetectionMethod.VOLUME_MATCH in kernel.count_by_method()
+
+    def test_streaming_agrees_with_batch_with_volume_match(
+        self, tiny_world, tiny_dataset
+    ):
+        kernel = run_backend(
+            tiny_world, tiny_dataset, enabled_methods=self.METHODS, engine="kernel"
+        )
+        monitor = StreamingMonitor.for_world(
+            tiny_world, enabled_methods=self.METHODS
+        )
+        monitor.run(step_blocks=29)
+        assert_results_match(monitor.result(), kernel, ordered=True)
+
+    def test_default_method_set_stays_the_papers(self, tiny_world, tiny_dataset):
+        """Headline numbers must not move unless volume-match is asked for."""
+        default = run_backend(tiny_world, tiny_dataset, engine="kernel")
+        assert DetectionMethod.VOLUME_MATCH not in default.count_by_method()

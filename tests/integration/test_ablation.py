@@ -55,7 +55,7 @@ class TestDetectorAblation:
         dataset = small_report.dataset
         full_count = small_report.result.activity_count
         for removed in (DetectionMethod.COMMON_FUNDER, DetectionMethod.COMMON_EXIT):
-            remaining = set(DetectionMethod) - {removed}
+            remaining = set(DetectionMethod.paper_methods()) - {removed}
             pipeline = WashTradingPipeline(
                 labels=small_world.labels,
                 is_contract=small_world.is_contract,
