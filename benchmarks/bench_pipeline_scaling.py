@@ -19,6 +19,11 @@ ordering on the largest selected world:
   outrun the columnar engine (2x is the target; the floor asserted is
   strictly faster), and the pure-Python fallback must never be slower
   than the columnar engine either.
+
+With ``--obs``, ``test_obs_overhead_on_largest_world`` adds the
+observability bar: a fully instrumented streaming ingest over the
+largest selected world must stay within 5% of the bare run while
+producing the identical detection result.
 """
 
 from __future__ import annotations
@@ -29,6 +34,7 @@ import pytest
 
 from benchmarks.conftest import BACKEND_PIPELINE_KWARGS, kernel_status
 from repro.core.detectors.pipeline import WashTradingPipeline
+from repro.serve import ServeService
 from repro.ingest.dataset import build_dataset
 from repro.simulation.builder import build_default_world
 from repro.simulation.config import SimulationConfig
@@ -131,3 +137,61 @@ def test_kernel_beats_engine_on_largest_world(largest_world):
     assert fallback_result.activity_count == engine_result.activity_count
     assert kernel_best < engine_best
     assert fallback_best < engine_best
+
+
+def _stream_best_of(rounds, world, registry_factory):
+    """Best-of-``rounds`` full streaming ingest over ``world``'s chain."""
+    import time as _time
+
+    best = None
+    result = None
+    registry = None
+    for _ in range(rounds):
+        registry = registry_factory()
+        service = ServeService.for_world(world, registry=registry)
+        started = _time.perf_counter()
+        service.run()
+        elapsed = _time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+        result = service.result()
+    return best, result, registry
+
+
+def test_obs_overhead_on_largest_world(largest_world, obs_enabled):
+    """Instrumentation must cost <5% of ingest at the largest scale.
+
+    The tentpole's overhead bar: a full streaming ingest (cursor ->
+    scheduler -> monitor -> serving index, every layer carrying its
+    counters and spans) over the largest selected world must stay
+    within 5% of the identical uninstrumented run -- and must produce
+    the identical detection result.  Best-of-five per variant to damp
+    machine noise.
+    """
+    from repro.obs import MetricsRegistry
+
+    label, world, _ = largest_world
+    bare_best, bare_result, _ = _stream_best_of(5, world, lambda: None)
+    obs_best, obs_result, registry = _stream_best_of(
+        5, world, MetricsRegistry
+    )
+
+    overhead = obs_best / bare_best - 1.0
+    snapshot = registry.snapshot()
+    blocks = snapshot["counters"]["cursor_blocks_ingested_total"]
+    ticks = snapshot["counters"]["monitor_ticks_total"]
+    tick_spans = snapshot["histograms"]['span_seconds{span="tick"}']["count"]
+    print(
+        f"\n== obs overhead [{label} world] == "
+        f"bare={bare_best:.3f}s instrumented={obs_best:.3f}s "
+        f"({overhead * 100:+.2f}%, bar +5%)\n"
+        f"  instrumented run saw {blocks} blocks, {ticks} ticks, "
+        f"{tick_spans} tick spans"
+    )
+    assert obs_result.activity_count == bare_result.activity_count
+    assert obs_result.candidate_count == bare_result.candidate_count
+    assert snapshot["counters"]["monitor_ticks_total"] > 0
+    assert overhead < 0.05, (
+        f"instrumentation cost {overhead:.1%} of ingest on the {label} "
+        f"world; the observability bar is <5%"
+    )

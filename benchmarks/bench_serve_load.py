@@ -32,11 +32,19 @@ With ``--wire``, two more checks cross the network boundary
   both ways over a settled service and reports the socket's overhead
   factor next to both throughputs.
 
+With ``--obs``, ``test_obs_identical_answers_and_overhead`` repeats the
+cached workload with a live :class:`~repro.obs.MetricsRegistry` wired
+through every layer and prints the instrumented-vs-bare comparison
+column -- the answers must be identical (the parity-neutrality bar; the
+hard <5% ingest-overhead assertion runs at scale in
+``bench_pipeline_scaling``).
+
 Run with::
 
     PYTHONPATH=src python -m pytest benchmarks/bench_serve_load.py -q -s
     PYTHONPATH=src python -m pytest benchmarks/bench_serve_load.py --smoke -q -s
     PYTHONPATH=src python -m pytest benchmarks/bench_serve_load.py --wire --smoke -q -s
+    PYTHONPATH=src python -m pytest benchmarks/bench_serve_load.py --obs --smoke -q -s
 """
 
 from __future__ import annotations
@@ -312,6 +320,95 @@ def test_concurrent_load_sustains_queries(serve_profile):
         labels=world.labels, is_contract=world.is_contract, engine="columnar"
     ).run(build_dataset(world.node, world.marketplace_addresses))
     assert serving_parity_mismatches(service.query, batch, version=final) == []
+
+
+def test_obs_identical_answers_and_overhead(serve_profile, obs_enabled):
+    """Same workload instrumented vs bare: same answers, marginal cost.
+
+    Reports the instrumented-vs-bare comparison column (ingest ticks and
+    query throughput) and asserts the answers are identical; the hard
+    <5% ingest-overhead bar lives in ``bench_pipeline_scaling`` where
+    the world is large enough for the ratio to be meaningful.
+    """
+    import dataclasses
+
+    from repro.obs import MetricsRegistry
+
+    world = build_default_world(serve_profile["preset"]())
+    head = world.node.block_number
+    boundaries = tick_boundaries(head)
+
+    results = {}
+    for label, registry in (("bare", None), ("obs", MetricsRegistry())):
+        service = ServeService.for_world(world, registry=registry)
+        rng = random.Random(7)
+        query_time = 0.0
+        served = 0
+        tick_time = 0.0
+        for upper in boundaries:
+            started = time.perf_counter()
+            service.advance(upper)
+            tick_time += time.perf_counter() - started
+            started = time.perf_counter()
+            served += query_sweep(
+                service.query,
+                rng,
+                serve_profile["aggregate_repeats"],
+                serve_profile["point_queries"],
+            )
+            query_time += time.perf_counter() - started
+        results[label] = {
+            "service": service,
+            "registry": registry,
+            "tick_time": tick_time,
+            "query_time": query_time,
+            "served": served,
+        }
+
+    bare, obs = results["bare"], results["obs"]
+    print(f"\n== serve load: obs vs bare == head={head} "
+          f"ticks={len(boundaries)} queries={bare['served']}")
+    for label, run in results.items():
+        qps = run["served"] / run["query_time"] if run["query_time"] else float("inf")
+        print(
+            f"  {label:<5} ingest total={run['tick_time']:.3f}s "
+            f"query total={run['query_time']:.3f}s ({qps:>10,.0f} q/s)"
+        )
+    ingest_ratio = obs["tick_time"] / bare["tick_time"] if bare["tick_time"] else 1.0
+    print(f"  ingest overhead: {(ingest_ratio - 1) * 100:+.1f}%")
+
+    # Identical answers (normalize the computed-at version, as above).
+    def same_answer(left, right):
+        return dataclasses.replace(left, version=0) == dataclasses.replace(
+            right, version=0
+        )
+
+    bare_query = bare["service"].query
+    obs_query = obs["service"].query
+    assert same_answer(bare_query.funnel_stats(), obs_query.funnel_stats())
+    for contract in bare_query.collections():
+        assert same_answer(
+            bare_query.collection_rollup(contract),
+            obs_query.collection_rollup(contract),
+        )
+    assert bare_query.venues() == obs_query.venues()
+    assert bare["served"] == obs["served"]
+    assert (
+        bare_query.version().confirmed_activity_count
+        == obs_query.version().confirmed_activity_count
+        > 0
+    )
+
+    # The instrumented run really measured itself.
+    snapshot = obs["registry"].snapshot()
+    assert snapshot["counters"]["monitor_ticks_total"] == len(boundaries)
+    assert snapshot["counters"]["serve_cache_hits_total"] > 0
+    tick_spans = snapshot["histograms"]['span_seconds{span="tick"}']
+    assert tick_spans["count"] == len(boundaries)
+    print(
+        f"  obs surface: tick p95={tick_spans['p95'] * 1e3:.2f}ms "
+        f"cache hit ratio={snapshot['gauges']['serve_cache_hit_ratio']:.1%}"
+    )
 
 
 def test_wire_load_parity_under_live_ingest(serve_profile, wire_enabled):

@@ -97,6 +97,16 @@ def pytest_addoption(parser):
             "wire-vs-in-process throughput comparison"
         ),
     )
+    parser.addoption(
+        "--obs",
+        action="store_true",
+        help=(
+            "also run the observability overhead comparisons: the same "
+            "streaming/serving workload instrumented (metrics registry "
+            "+ spans) vs bare, asserting identical answers and, on the "
+            "largest scaling world, <5% ingest overhead"
+        ),
+    )
 
 
 @pytest.fixture
@@ -112,6 +122,13 @@ def wire_enabled(request):
     """Gate for the over-the-wire serving benchmarks (``--wire``)."""
     if not request.config.getoption("--wire"):
         pytest.skip("pass --wire to run the over-the-wire serving benchmarks")
+
+
+@pytest.fixture
+def obs_enabled(request):
+    """Gate for the observability overhead comparisons (``--obs``)."""
+    if not request.config.getoption("--obs"):
+        pytest.skip("pass --obs to run the observability overhead comparisons")
 
 
 @pytest.fixture(scope="session")

@@ -89,6 +89,75 @@ def _add_world_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """The observability flags shared by ``monitor`` and ``serve``."""
+    parser.add_argument(
+        "--stats-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "print a one-line metrics summary every SECONDS while the "
+            "service runs (and rewrite --metrics-out at the same cadence)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "write a Prometheus-style text exposition of every metric to "
+            "PATH (rewritten per --stats-interval tick and at shutdown)"
+        ),
+    )
+    parser.add_argument(
+        "--log-json",
+        type=str,
+        default=None,
+        metavar="PATH",
+        help=(
+            "append structured JSON-lines span records (one timed stage "
+            "per line: ingest, refine, detect, publish, fanout...) to PATH"
+        ),
+    )
+
+
+class _ObsSession:
+    """CLI lifecycle around one registry: sinks, reporter, final dump."""
+
+    def __init__(self, args: argparse.Namespace) -> None:
+        from repro.obs import JsonLinesSink, MetricsRegistry, PeriodicReporter
+
+        self.registry = MetricsRegistry()
+        self.metrics_out: Optional[str] = getattr(args, "metrics_out", None)
+        self.sink = None
+        if getattr(args, "log_json", None):
+            self.sink = JsonLinesSink(args.log_json)
+            self.registry.add_span_sink(self.sink)
+        self.reporter = None
+        if getattr(args, "stats_interval", None):
+            self.reporter = PeriodicReporter(
+                self.registry,
+                interval=args.stats_interval,
+                metrics_out=self.metrics_out,
+            ).start()
+
+    def finish(self) -> None:
+        """Final stats line (if periodic), exposition dump, sink close."""
+        if self.reporter is not None:
+            self.reporter.stop(final_report=True)
+        elif self.metrics_out:
+            from repro.obs import write_prometheus
+
+            try:
+                write_prometheus(self.registry, self.metrics_out)
+            except OSError as error:
+                print(f"cannot write {self.metrics_out}: {error}", file=sys.stderr)
+        if self.sink is not None:
+            self.sink.close()
+
+
 def _enabled_methods(args: argparse.Namespace):
     """The detection-method set a parsed command line asks for.
 
@@ -198,6 +267,7 @@ def build_monitor_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print only the final summary line, not the alert stream",
     )
+    _add_obs_arguments(parser)
     return parser
 
 
@@ -282,6 +352,7 @@ def build_serve_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print only the final summary line",
     )
+    _add_obs_arguments(parser)
     return parser
 
 
@@ -489,6 +560,7 @@ def run_monitor(argv: Sequence[str]) -> int:
     if args.seed is not None:
         config.seed = args.seed
 
+    obs = _ObsSession(args)
     world = build_default_world(config)
     monitor = StreamingMonitor.for_world(
         world,
@@ -496,6 +568,7 @@ def run_monitor(argv: Sequence[str]) -> int:
         max_reorg_depth=args.max_reorg_depth,
         retain_scan_matches=not args.bounded_memory,
         enabled_methods=_enabled_methods(args),
+        registry=obs.registry,
     )
 
     if not args.quiet:
@@ -528,6 +601,7 @@ def run_monitor(argv: Sequence[str]) -> int:
     started = time.time()
     snapshots = monitor.run(step_blocks=args.step_blocks)
     elapsed = time.time() - started
+    obs.finish()
 
     result = monitor.result()
     score = world.ground_truth.match_against(result.washed_nfts())
@@ -570,6 +644,7 @@ def run_serve(argv: Sequence[str]) -> int:
                 signum, lambda *_: interrupted.set()
             )
 
+    obs = _ObsSession(args)
     try:
         world = build_default_world(config)
         monitor = StreamingMonitor.for_world(
@@ -578,8 +653,11 @@ def run_serve(argv: Sequence[str]) -> int:
             max_reorg_depth=args.max_reorg_depth,
             retain_scan_matches=not args.bounded_memory,
             enabled_methods=_enabled_methods(args),
+            registry=obs.registry,
         )
-        service = ServeService(monitor, use_cache=not args.no_cache)
+        service = ServeService(
+            monitor, use_cache=not args.no_cache, registry=obs.registry
+        )
         query = service.query
 
         if args.listen is not None:
@@ -622,7 +700,7 @@ def run_serve(argv: Sequence[str]) -> int:
         score = world.ground_truth.match_against(result.washed_nfts())
         total_queries = sum(generator.queries for generator in generators)
         qps = total_queries / elapsed if elapsed > 0 else float("inf")
-        ticks = service.tick_latencies
+        ticks = service.tick_latency_snapshot()
         status = 0
 
         worker_errors = [
@@ -636,11 +714,17 @@ def run_serve(argv: Sequence[str]) -> int:
         # error even though the monitor itself kept going.
         subscriber_errors = (
             list(service.monitor.subscriber_errors)
-            + service.index.subscriber_errors
+            + list(service.index.subscriber_errors)
+        )
+        subscriber_error_total = (
+            service.monitor.subscriber_errors.total
+            + service.index.subscriber_errors.total
         )
         if subscriber_errors:
             print(
-                f"subscriber failures during ingest: {subscriber_errors[:3]}",
+                f"subscriber failures during ingest "
+                f"({subscriber_error_total} total, last "
+                f"{len(subscriber_errors)} retained): {subscriber_errors[:3]}",
                 file=sys.stderr,
             )
             status = 2
@@ -697,9 +781,10 @@ def run_serve(argv: Sequence[str]) -> int:
                 f"({stats.hit_rate:.1%}), {stats.invalidated} invalidated"
             )
         tick_line = (
-            f"tick mean {sum(ticks) / len(ticks) * 1e3:.1f}ms "
-            f"max {max(ticks) * 1e3:.1f}ms"
-            if ticks
+            f"tick p50 {ticks.p50 * 1e3:.1f}ms "
+            f"p95 {ticks.p95 * 1e3:.1f}ms "
+            f"max {ticks.max * 1e3:.1f}ms"
+            if ticks.count
             else "no ticks"
         )
         print(
@@ -722,6 +807,7 @@ def run_serve(argv: Sequence[str]) -> int:
             print("wire: shut down cleanly", flush=True)
         return status
     finally:
+        obs.finish()
         for signum, handler in previous_handlers.items():
             signal.signal(signum, handler)
 

@@ -1,0 +1,50 @@
+"""Observability core: metrics registry, span tracing, exposition.
+
+Stdlib-only.  One :class:`MetricsRegistry` travels through a live
+service's layers (cursor, scheduler, monitor, serve index, wire
+server); every component defaults to the shared no-op
+:data:`NULL_REGISTRY` so uninstrumented runs pay nothing.  See
+``docs/architecture.md`` § Observability for the metric catalog and
+span taxonomy.
+"""
+
+from repro.obs.bounded import DEFAULT_ERROR_RETENTION, BoundedLog
+from repro.obs.console import PeriodicReporter, format_stats_line
+from repro.obs.exposition import (
+    parse_prometheus,
+    render_prometheus,
+    write_prometheus,
+)
+from repro.obs.registry import (
+    DEFAULT_RESERVOIR_SIZE,
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    NullRegistry,
+)
+from repro.obs.tracing import JsonLinesSink, Span, SpanRecord, Tracer
+
+__all__ = [
+    "BoundedLog",
+    "Counter",
+    "DEFAULT_ERROR_RETENTION",
+    "DEFAULT_RESERVOIR_SIZE",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "JsonLinesSink",
+    "MetricsRegistry",
+    "NULL_REGISTRY",
+    "NullRegistry",
+    "PeriodicReporter",
+    "Span",
+    "SpanRecord",
+    "Tracer",
+    "format_stats_line",
+    "parse_prometheus",
+    "render_prometheus",
+    "write_prometheus",
+]

@@ -1,0 +1,53 @@
+"""A bounded list for error retention.
+
+Several layers keep "last errors" logs for their CLI reports (monitor
+subscriber errors, serve-index callback failures).  Historically those
+were plain unbounded lists; a long-running service with one broken
+subscriber would grow them forever.  :class:`BoundedLog` keeps the
+plain-``list`` interface those reports (and existing tests) rely on --
+indexing, slicing, equality against a list -- while retaining only the
+most recent ``maxlen`` entries and counting every append in ``total``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+__all__ = ["BoundedLog", "DEFAULT_ERROR_RETENTION"]
+
+#: How many recent entries the error logs keep by default.  Large enough
+#: that any realistic CLI report sees everything; small enough that a
+#: pathological subscriber cannot exhaust memory.
+DEFAULT_ERROR_RETENTION = 100
+
+
+class BoundedLog(list):
+    """A ``list`` that drops its oldest entries beyond ``maxlen``.
+
+    ``total`` counts every append ever made, so the retained window and
+    the lifetime count are both always available.
+    """
+
+    def __init__(self, maxlen: int = DEFAULT_ERROR_RETENTION, iterable: Iterable[Any] = ()) -> None:
+        if maxlen < 1:
+            raise ValueError("maxlen must be >= 1")
+        super().__init__()
+        self.maxlen = maxlen
+        self.total = 0
+        for item in iterable:
+            self.append(item)
+
+    def append(self, item: Any) -> None:
+        super().append(item)
+        self.total += 1
+        if len(self) > self.maxlen:
+            del self[: len(self) - self.maxlen]
+
+    def extend(self, iterable: Iterable[Any]) -> None:
+        for item in iterable:
+            self.append(item)
+
+    @property
+    def dropped(self) -> int:
+        """How many entries have been evicted from the window."""
+        return self.total - len(self)

@@ -1,0 +1,135 @@
+"""Prometheus-style text exposition for a metrics registry.
+
+:func:`render_prometheus` serializes a registry snapshot into the
+plain-text format scrape endpoints speak: ``# HELP``/``# TYPE`` header
+lines followed by ``name{labels} value`` samples.  Counters and gauges
+map directly; histograms are rendered as Prometheus *summaries* --
+``name{quantile="0.5"}`` samples for each tracked quantile plus
+``name_sum`` / ``name_count`` -- because the reservoir tracks
+quantiles, not fixed buckets.
+
+The CLI's ``--metrics-out PATH`` rewrites one exposition file per
+stats interval (and once at shutdown) so an operator -- or a node
+exporter's textfile collector -- always sees a recent, complete view.
+
+:func:`parse_prometheus` is the inverse used by tests and the CI smoke
+job: it folds an exposition back into ``{name: value}`` (labeled
+samples keep their rendered ``name{label="value"}`` key).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import Dict, Tuple
+
+from repro.obs.registry import QUANTILES, Family, MetricsRegistry
+
+__all__ = ["render_prometheus", "parse_prometheus", "write_prometheus"]
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{.*\})?"
+    r"\s+(?P<value>[^\s]+)$"
+)
+
+
+def _format_value(value: float) -> str:
+    if isinstance(value, float) and (math.isnan(value) or math.isinf(value)):
+        return str(value)
+    if float(value) == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def _merge_labels(name: str, extra: str) -> str:
+    """Insert ``extra`` (e.g. ``quantile="0.5"``) into a sample name that
+    may already carry labels."""
+    if name.endswith("}"):
+        return f"{name[:-1]},{extra}}}"
+    return f"{name}{{{extra}}}"
+
+
+def _strip_suffix_into(name: str, suffix: str) -> str:
+    """``name{labels}`` -> ``name_suffix{labels}`` (labels optional)."""
+    brace = name.find("{")
+    if brace < 0:
+        return f"{name}{suffix}"
+    return f"{name[:brace]}{suffix}{name[brace:]}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The registry's current state in Prometheus text format."""
+    lines = []
+    snapshot = registry.snapshot()
+    described = set()
+
+    def describe(base: str, kind: str, help_text: str) -> None:
+        if base in described:
+            return
+        described.add(base)
+        if help_text:
+            lines.append(f"# HELP {base} {help_text}")
+        lines.append(f"# TYPE {base} {kind}")
+
+    help_by_base: Dict[str, Tuple[str, str]] = {}
+    for metric in registry.families():
+        kind = metric.kind if not isinstance(metric, Family) else metric.kind
+        help_by_base[metric.name] = (kind, metric.help)
+
+    def base_of(sample_name: str) -> str:
+        brace = sample_name.find("{")
+        return sample_name if brace < 0 else sample_name[:brace]
+
+    for name, value in sorted(snapshot["counters"].items()):
+        base = base_of(name)
+        describe(base, "counter", help_by_base.get(base, ("", ""))[1])
+        lines.append(f"{name} {_format_value(value)}")
+
+    for name, value in sorted(snapshot["gauges"].items()):
+        base = base_of(name)
+        describe(base, "gauge", help_by_base.get(base, ("", ""))[1])
+        lines.append(f"{name} {_format_value(value)}")
+
+    for name, stats in sorted(snapshot["histograms"].items()):
+        base = base_of(name)
+        describe(base, "summary", help_by_base.get(base, ("", ""))[1])
+        for quantile in QUANTILES:
+            key = f"p{int(quantile * 100)}"
+            sample = _merge_labels(name, f'quantile="{quantile}"')
+            lines.append(f"{sample} {_format_value(stats[key])}")
+        lines.append(
+            f"{_strip_suffix_into(name, '_sum')} {_format_value(stats['sum'])}"
+        )
+        lines.append(
+            f"{_strip_suffix_into(name, '_count')} {_format_value(stats['count'])}"
+        )
+
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def write_prometheus(registry: MetricsRegistry, path: str) -> None:
+    """Atomically-enough rewrite of the exposition file at ``path``."""
+    text = render_prometheus(registry)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Fold an exposition back into ``{sample_name: value}``.
+
+    Comment (``#``) and blank lines are skipped; malformed sample lines
+    raise ``ValueError`` so tests catch encoding bugs rather than
+    silently dropping samples.
+    """
+    samples: Dict[str, float] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        if match is None:
+            raise ValueError(f"malformed exposition line: {raw!r}")
+        name = match.group("name") + (match.group("labels") or "")
+        samples[name] = float(match.group("value"))
+    return samples

@@ -1,0 +1,162 @@
+"""Span tracing: timed stages with attributes, rings, and sinks.
+
+A *span* is one timed stage of work -- ``with registry.span("refine",
+tokens=42): ...`` -- recorded as a :class:`SpanRecord` when the block
+exits.  Each registry owns one :class:`Tracer` that fans completed
+records out three ways:
+
+* an in-memory ring buffer (``registry.recent_spans()``) for live
+  inspection and tests;
+* any registered sinks -- e.g. :class:`JsonLinesSink` behind the
+  ``--log-json`` CLI flag;
+* a ``span_seconds`` histogram family labeled by span name, which is
+  how per-stage timings (ingest/refine/detect/publish/fanout) surface
+  in ``stats`` snapshots and the Prometheus exposition.
+
+Spans nest freely and are cheap: one ``perf_counter`` pair plus a dict
+of attributes.  The null registry returns a shared no-op context
+manager instead, so uninstrumented paths never construct a tracer.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = ["SpanRecord", "Span", "Tracer", "JsonLinesSink"]
+
+#: How many completed spans the in-memory ring retains.
+DEFAULT_RING_SIZE = 256
+
+
+class SpanRecord:
+    """One completed span: name, attributes, wall-clock start, duration."""
+
+    __slots__ = ("name", "attrs", "started_at", "duration", "error")
+
+    def __init__(
+        self,
+        name: str,
+        attrs: Dict[str, Any],
+        started_at: float,
+        duration: float,
+        error: Optional[str] = None,
+    ) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.started_at = started_at
+        self.duration = duration
+        self.error = error
+
+    def as_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "span": self.name,
+            "ts": self.started_at,
+            "duration_s": self.duration,
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        if self.error is not None:
+            record["error"] = self.error
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SpanRecord({self.as_dict()})"
+
+
+class Span:
+    """The live context manager handed out by :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "name", "attrs", "_started_wall", "_started_perf")
+
+    def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.attrs = attrs
+        self._started_wall = 0.0
+        self._started_perf = 0.0
+
+    def annotate(self, **attrs: Any) -> None:
+        """Attach attributes discovered mid-span (e.g. result counts)."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        self._started_wall = time.time()
+        self._started_perf = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        duration = time.perf_counter() - self._started_perf
+        error = None if exc_type is None else exc_type.__name__
+        self._tracer.record(
+            SpanRecord(self.name, self.attrs, self._started_wall, duration, error)
+        )
+        return None
+
+
+class Tracer:
+    """Per-registry span state: the ring, the sinks, the histogram family."""
+
+    def __init__(self, registry, ring_size: int = DEFAULT_RING_SIZE) -> None:
+        self._lock = threading.Lock()
+        self._ring: "deque[SpanRecord]" = deque(maxlen=ring_size)
+        self._sinks: List[Callable[[SpanRecord], None]] = []
+        self._durations = registry.histogram(
+            "span_seconds",
+            "Wall-clock duration of traced stages.",
+            labels=("span",),
+        )
+
+    def span(self, name: str, **attrs: Any) -> Span:
+        return Span(self, name, attrs)
+
+    def add_sink(self, sink: Callable[[SpanRecord], None]) -> None:
+        with self._lock:
+            self._sinks.append(sink)
+
+    def record(self, record: SpanRecord) -> None:
+        self._durations.labels(span=record.name).observe(record.duration)
+        with self._lock:
+            self._ring.append(record)
+            sinks = list(self._sinks)
+        for sink in sinks:
+            try:
+                sink(record)
+            except Exception:  # noqa: BLE001 - a broken sink must never
+                # fail the instrumented operation.
+                pass
+
+    def recent(self) -> List[SpanRecord]:
+        with self._lock:
+            return list(self._ring)
+
+
+class JsonLinesSink:
+    """A span sink writing one structured JSON object per line.
+
+    Thread-safe and append-only; the underlying file is line-buffered so
+    an operator can ``tail -f`` a live service.  Also usable directly as
+    an event log (:meth:`emit`) for non-span records.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self._lock = threading.Lock()
+        self._handle = open(path, "a", buffering=1, encoding="utf-8")
+
+    def __call__(self, record: SpanRecord) -> None:
+        self.emit(record.as_dict())
+
+    def emit(self, record: Dict[str, Any]) -> None:
+        line = json.dumps(record, sort_keys=True, default=str)
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.write(line + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._handle.closed:
+                self._handle.close()

@@ -136,6 +136,33 @@ class AggregateCache:
             self.stats.invalidated += len(dead)
             return len(dead)
 
+    def register_metrics(self, registry) -> None:
+        """Expose the cache through a registry *collector*.
+
+        The cache already counts everything the stats surface needs in
+        :class:`CacheStats`; a snapshot-time collector publishes those
+        counters (and the live entry count / hit ratio) without adding
+        any work to the lookup hot path.  Idempotent per registry call
+        site: registering twice just reports the same numbers twice.
+        """
+
+        def collect():
+            stats = self.stats
+            return {
+                "counters": {
+                    "serve_cache_hits_total": stats.hits,
+                    "serve_cache_misses_total": stats.misses,
+                    "serve_cache_invalidated_total": stats.invalidated,
+                    "serve_cache_stale_discards_total": stats.stale_discards,
+                },
+                "gauges": {
+                    "serve_cache_entries": len(self),
+                    "serve_cache_hit_ratio": stats.hit_rate,
+                },
+            }
+
+        registry.register_collector(collect)
+
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)

@@ -47,6 +47,8 @@ from repro.serve.model import (
     TokenStatus,
     record_key,
 )
+from repro.obs.bounded import DEFAULT_ERROR_RETENTION, BoundedLog
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.stream.alerts import Alert, AlertKind, MonitorSnapshot
 from repro.stream.monitor import StreamingMonitor
 
@@ -60,18 +62,42 @@ class ServeIndex:
         self,
         monitor: StreamingMonitor,
         cache: Optional[AggregateCache] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
         self.monitor = monitor
         self.cache = cache
+        self.registry = (
+            registry
+            if registry is not None
+            else getattr(monitor, "registry", None) or NULL_REGISTRY
+        )
         #: Append-only copy of every alert the monitor published since
         #: (and including) the bootstrap -- ``alert_log[seq].seq == seq``.
         self.alert_log: List[Alert] = []
         self.versions_published = 0
         self._version_subscribers: List[VersionCallback] = []
-        #: Version-subscriber failures, isolated like the monitor's own
-        #: subscriber errors: a raising callback never starves the
-        #: subscribers after it and never aborts the publish.
-        self.subscriber_errors: List[Tuple[VersionCallback, ServeVersion, BaseException]] = []
+        #: Recent version-subscriber failures, isolated like the
+        #: monitor's own subscriber errors: a raising callback never
+        #: starves the subscribers after it and never aborts the
+        #: publish.  Bounded to the last DEFAULT_ERROR_RETENTION
+        #: ``(callback, version, error)`` tuples; ``.total`` counts all.
+        self.subscriber_errors: BoundedLog = BoundedLog(DEFAULT_ERROR_RETENTION)
+
+        self._metric_versions = self.registry.counter(
+            "serve_versions_published_total", "Immutable versions published."
+        )
+        self._metric_subscriber_errors = self.registry.counter(
+            "serve_subscriber_errors_total",
+            "Version-subscriber callbacks that raised during publish.",
+        )
+        self._metric_alert_log = self.registry.gauge(
+            "serve_alert_log_entries", "Alerts held in the replayable log."
+        )
+        self._metric_confirmed = self.registry.gauge(
+            "serve_confirmed_records", "Confirmed activity records being served."
+        )
+        if cache is not None:
+            cache.register_metrics(self.registry)
 
         self._records: Dict[RecordKey, ActivityRecord] = {}
         self._token_records: Dict[NFTKey, Dict[RecordKey, ActivityRecord]] = {}
@@ -145,10 +171,20 @@ class ServeIndex:
             newly_confirmed_count=0,
         )
         self.versions_published += 1
+        self._metric_versions.inc()
+        self._metric_alert_log.set(len(self.alert_log))
+        self._metric_confirmed.set(len(self._records))
 
     # -- tick application --------------------------------------------------
     def _on_snapshot(self, snapshot: MonitorSnapshot) -> None:
         """Fold one monitor tick into the model and publish a version."""
+        with self.registry.span("publish", dirty=snapshot.dirty_token_count):
+            self._apply_snapshot(snapshot)
+        self._metric_versions.inc()
+        self._metric_alert_log.set(len(self.alert_log))
+        self._metric_confirmed.set(len(self._records))
+
+    def _apply_snapshot(self, snapshot: MonitorSnapshot) -> None:
         self.alert_log.extend(snapshot.alerts)
         confirmation_info: Dict[RecordKey, Tuple[int, int]] = {}
         for alert in snapshot.alerts:
@@ -200,6 +236,7 @@ class ServeIndex:
                 # the monitor's _deliver: the publish is already done,
                 # the failure is the subscriber's.
                 self.subscriber_errors.append((callback, version, error))
+                self._metric_subscriber_errors.inc()
 
     def _scopes_for(
         self, dirty_nfts: Tuple[NFTKey, ...], changed_venues: Set[str]

@@ -20,9 +20,10 @@ from __future__ import annotations
 
 import threading
 import time
-from typing import List, Optional, TYPE_CHECKING
+from typing import Any, Dict, Optional, TYPE_CHECKING
 
 from repro.core.detectors.pipeline import PipelineResult
+from repro.obs.registry import NULL_REGISTRY, HistogramSnapshot, MetricsRegistry
 from repro.serve.cache import AggregateCache
 from repro.serve.index import ServeIndex
 from repro.serve.model import ServeVersion
@@ -36,13 +37,35 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 class ServeService:
     """Owns one monitor and serves queries over its versioned state."""
 
-    def __init__(self, monitor: StreamingMonitor, use_cache: bool = True) -> None:
+    def __init__(
+        self,
+        monitor: StreamingMonitor,
+        use_cache: bool = True,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
         self.monitor = monitor
+        #: The service inherits its monitor's registry unless given its
+        #: own, so one registry spans ingest through serving.
+        self.registry = (
+            registry
+            if registry is not None
+            else getattr(monitor, "registry", None) or NULL_REGISTRY
+        )
         self.cache: Optional[AggregateCache] = AggregateCache() if use_cache else None
-        self.index = ServeIndex(monitor, cache=self.cache)
+        self.index = ServeIndex(monitor, cache=self.cache, registry=self.registry)
         self.query = QueryService(self.index, cache=self.cache)
-        #: Per-tick wall-clock latencies of background ingest, seconds.
-        self.tick_latencies: List[float] = []
+        #: Per-tick wall-clock latency of background ingest, as a
+        #: bounded-reservoir histogram: exact count/sum, estimated
+        #: percentiles, O(1) memory however long the service runs.
+        #: Recorded even without an external registry (a private one
+        #: backs it), so the CLI summary always has percentiles.
+        self._tick_registry = (
+            self.registry if self.registry.enabled else MetricsRegistry()
+        )
+        self.tick_latency = self._tick_registry.histogram(
+            "serve_tick_seconds",
+            "Wall-clock latency of each background ingest tick.",
+        )
         #: Set when the background ingest loop has finished (caught up,
         #: reached its target, was stopped -- or crashed; see
         #: ``ingest_error``).
@@ -58,13 +81,40 @@ class ServeService:
 
     @classmethod
     def for_world(
-        cls, world, use_cache: bool = True, **monitor_kwargs
+        cls,
+        world,
+        use_cache: bool = True,
+        registry: Optional[MetricsRegistry] = None,
+        **monitor_kwargs,
     ) -> "ServeService":
         """Build a service over a simulated world's handles."""
+        if registry is not None:
+            monitor_kwargs.setdefault("registry", registry)
         return cls(
             StreamingMonitor.for_world(world, **monitor_kwargs),
             use_cache=use_cache,
+            registry=registry,
         )
+
+    # -- introspection -----------------------------------------------------
+    def tick_latency_snapshot(self) -> HistogramSnapshot:
+        """Percentiles of background ingest tick latency (CLI summary)."""
+        return self.tick_latency.snapshot()
+
+    def metrics_snapshot(self) -> Dict[str, Dict[str, Any]]:
+        """One JSON-friendly view of every metric the service touches.
+
+        With a real registry this is the full cross-layer picture
+        (cursor, scheduler, monitor, index, cache, wire); without one,
+        the privately tracked tick histogram is still reported so the
+        surface never comes back empty.
+        """
+        snapshot = self.registry.snapshot()
+        if not self.registry.enabled:
+            snapshot["histograms"]["serve_tick_seconds"] = (
+                self.tick_latency.snapshot().as_dict()
+            )
+        return snapshot
 
     # -- inline driving ----------------------------------------------------
     def advance(self, to_block: Optional[int] = None) -> ServeVersion:
@@ -112,14 +162,14 @@ class ServeService:
                     )
                     started = time.perf_counter()
                     self.monitor.advance(upper)
-                    self.tick_latencies.append(time.perf_counter() - started)
+                    self.tick_latency.observe(time.perf_counter() - started)
                     ticked = True
                     if tick_delay:
                         time.sleep(tick_delay)
                 if not ticked and not self._stop.is_set():
                     started = time.perf_counter()
                     self.monitor.advance(to_block)
-                    self.tick_latencies.append(time.perf_counter() - started)
+                    self.tick_latency.observe(time.perf_counter() - started)
             except BaseException as error:  # noqa: BLE001 - re-raised by join
                 self.ingest_error = error
             finally:
@@ -169,6 +219,8 @@ class ServeService:
             raise RuntimeError("wire server already started")
         from repro.serve.wire.server import WireServer
 
+        server_kwargs.setdefault("registry", self.registry)
+        server_kwargs.setdefault("metrics_snapshot", self.metrics_snapshot)
         self.wire = WireServer(self.query, host, port, **server_kwargs).start()
         return self.wire
 

@@ -43,10 +43,12 @@ import queue
 import socket
 import socketserver
 import threading
+import time
 from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.activity import DetectionMethod
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.serve.model import ServeVersion
 from repro.serve.query import QueryService
 from repro.serve.wire import codec
@@ -169,9 +171,16 @@ class WireConnectionHandler(socketserver.StreamRequestHandler):
         request_id = request.get("id")
         if request_id is not None and not isinstance(request_id, (int, str)):
             request_id = None
+        # Known verbs are labeled verbatim; everything else is clamped
+        # to "unknown" so a fuzzing peer cannot mint unbounded label
+        # cardinality in the per-verb metric families.
+        verb = request.get("verb")
+        verb_label = verb if isinstance(verb, str) and verb in self.VERBS else "unknown"
         self.busy.set()
+        started = time.perf_counter()
         try:
             self.server._count("requests")
+            self.server.metric_requests.labels(verb=verb_label).inc()
             try:
                 result = self._dispatch(request)
             except RequestError as error:
@@ -194,6 +203,9 @@ class WireConnectionHandler(socketserver.StreamRequestHandler):
                 self._start_pusher()
             return sent
         finally:
+            self.server.metric_latency.labels(verb=verb_label).observe(
+                time.perf_counter() - started
+            )
             self.busy.clear()
 
     # -- sending -----------------------------------------------------------
@@ -388,7 +400,13 @@ class WireConnectionHandler(socketserver.StreamRequestHandler):
         }
 
     def _verb_stats(self, params: Dict[str, Any]):
-        return self.server.stats()
+        # The flat socket counters keep their historical top-level keys;
+        # the full cross-layer registry snapshot (per-verb latency
+        # histograms, tick-stage timings, cache ratios, reorg counters)
+        # rides alongside under "metrics".
+        stats: Dict[str, Any] = dict(self.server.stats())
+        stats["metrics"] = self.server.metrics_snapshot()
+        return stats
 
     def _verb_subscribe(self, params: Dict[str, Any]):
         if self._subscriber is not None:
@@ -546,9 +564,30 @@ class WireServer(socketserver.ThreadingTCPServer):
         max_frame_bytes: int = DEFAULT_MAX_FRAME_BYTES,
         subscriber_queue_size: int = DEFAULT_SUBSCRIBER_QUEUE,
         max_pins: int = DEFAULT_MAX_PINS,
+        registry: Optional[MetricsRegistry] = None,
+        metrics_snapshot: Optional[Callable[[], Dict[str, Any]]] = None,
     ) -> None:
         self.query = query
         self.index = query.index
+        self.registry = (
+            registry
+            if registry is not None
+            else getattr(query.index, "registry", None) or NULL_REGISTRY
+        )
+        #: Cross-layer snapshot hook for the ``stats`` verb; the owning
+        #: ServeService passes its own so wire clients see every layer,
+        #: not just the wire's instruments.
+        self._metrics_snapshot = metrics_snapshot or self.registry.snapshot
+        self.metric_requests = self.registry.counter(
+            "wire_requests_total", "Wire requests dispatched, labeled by verb.",
+            labels=("verb",),
+        )
+        self.metric_latency = self.registry.histogram(
+            "wire_request_seconds",
+            "Wire request handling latency, labeled by verb.",
+            labels=("verb",),
+        )
+        self.registry.register_collector(self._collect_metrics)
         self.max_frame_bytes = max_frame_bytes
         self.subscriber_queue_size = subscriber_queue_size
         self.max_pins = max_pins
@@ -628,6 +667,32 @@ class WireServer(socketserver.ThreadingTCPServer):
             snapshot["active_connections"] = len(self._connections)
             snapshot["active_subscribers"] = len(self._subscribers)
         return snapshot
+
+    def _collect_metrics(self) -> Dict[str, Dict[str, float]]:
+        """Registry collector: the socket-layer counters and live levels.
+
+        These already exist in ``_counters`` (asserted by the wire test
+        batteries), so the registry polls them at snapshot time instead
+        of double-counting on the hot path.
+        """
+        stats = self.stats()
+        return {
+            "counters": {
+                "wire_connections_total": stats["connections"],
+                "wire_request_errors_total": stats["request_errors"],
+                "wire_internal_errors_total": stats["internal_errors"],
+                "wire_frame_errors_total": stats["frame_errors"],
+                "wire_subscriber_overflows_total": stats["overflows"],
+            },
+            "gauges": {
+                "wire_active_connections": stats["active_connections"],
+                "wire_active_subscribers": stats["active_subscribers"],
+            },
+        }
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        """The cross-layer metrics view the ``stats`` verb returns."""
+        return self._metrics_snapshot()
 
     def lookup_version(self, number: int) -> Optional[ServeVersion]:
         """Resolve a pinned version number back to its snapshot.

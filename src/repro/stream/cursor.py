@@ -60,6 +60,7 @@ from repro.ingest.dataset import NFTDataset, transfer_from_log
 from repro.ingest.marketplace_attribution import build_reverse_index
 from repro.ingest.records import NFTTransfer
 from repro.ingest.transfer_scan import TransferScanResult, scan_erc721_transfer_logs
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 
 #: How many processed blocks the rollback journal retains by default.
 #: Real-chain reorgs are almost always shallow (a handful of blocks);
@@ -212,6 +213,62 @@ class CursorTick:
         return self.reorg_depth > 0
 
 
+class _CursorMetrics:
+    """The cursor's instruments, registered once at construction.
+
+    All recording happens at tick granularity (one update per completed
+    :meth:`DatasetCursor.advance`), never inside per-row loops, so the
+    instrumented cursor does identical work per transfer as the bare
+    one -- parity neutrality by construction.
+    """
+
+    def __init__(self, registry: MetricsRegistry) -> None:
+        self.blocks = registry.counter(
+            "cursor_blocks_ingested_total", "Blocks ingested across all ticks."
+        )
+        self.transfers = registry.counter(
+            "cursor_transfers_ingested_total",
+            "Compliant NFT transfers committed to the store.",
+        )
+        self.events = registry.counter(
+            "cursor_events_scanned_total",
+            "Raw Transfer log events scanned (pre-compliance filter).",
+        )
+        self.reorgs = registry.counter(
+            "cursor_reorgs_total", "Chain reorganizations repaired in place."
+        )
+        self.rolled_back_blocks = registry.counter(
+            "cursor_rolled_back_blocks_total",
+            "Blocks undone by reorg rollbacks.",
+        )
+        self.rolled_back_transfers = registry.counter(
+            "cursor_rolled_back_transfers_total",
+            "Transfers removed by reorg rollbacks.",
+        )
+        self.reorg_depth = registry.histogram(
+            "cursor_reorg_depth_blocks", "Depth of each repaired reorg."
+        )
+        self.journal_blocks = registry.gauge(
+            "cursor_journal_blocks", "Blocks currently held in the rollback journal."
+        )
+        self.processed_block = registry.gauge(
+            "cursor_processed_block", "Highest block ingested so far."
+        )
+
+    def record_tick(self, cursor: "DatasetCursor", tick: "CursorTick") -> None:
+        if tick.to_block >= tick.from_block:
+            self.blocks.inc(tick.to_block - tick.from_block + 1)
+        self.transfers.inc(tick.new_transfer_count)
+        self.events.inc(tick.event_count)
+        if tick.saw_reorg:
+            self.reorgs.inc()
+            self.reorg_depth.observe(tick.reorg_depth)
+            self.rolled_back_blocks.inc(tick.reorg_depth)
+            self.rolled_back_transfers.inc(tick.rolled_back_transfer_count)
+        self.journal_blocks.set(len(cursor._journal))
+        self.processed_block.set(cursor.processed_block)
+
+
 class DatasetCursor:
     """Appends freshly mined blocks to a growing dataset, reorg-safely.
 
@@ -235,7 +292,10 @@ class DatasetCursor:
         start_block: int = 0,
         max_reorg_depth: int = DEFAULT_MAX_REORG_DEPTH,
         retain_scan_matches: bool = True,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
+        self.registry = registry if registry is not None else NULL_REGISTRY
+        self._metrics = _CursorMetrics(self.registry)
         self.node = node
         self.marketplace_addresses = dict(marketplace_addresses)
         self.enforce_compliance = enforce_compliance
@@ -313,6 +373,24 @@ class DatasetCursor:
 
     # -- ingest ------------------------------------------------------------
     def advance(self, to_block: Optional[int] = None) -> CursorTick:
+        """Ingest every block up to ``to_block`` -- see :meth:`_advance`.
+
+        This wrapper only instruments: the whole tick runs under an
+        ``ingest`` span and the completed tick's counts are recorded at
+        tick granularity, covering both return paths of the
+        implementation (rollback-only and full-ingest ticks).
+        """
+        with self.registry.span("ingest") as span:
+            tick = self._advance(to_block)
+            span.annotate(
+                blocks=max(0, tick.to_block - tick.from_block + 1),
+                transfers=tick.new_transfer_count,
+                reorg_depth=tick.reorg_depth,
+            )
+        self._metrics.record_tick(self, tick)
+        return tick
+
+    def _advance(self, to_block: Optional[int] = None) -> CursorTick:
         """Ingest every block up to ``to_block`` (default: current head).
 
         Before scanning, the journaled tail is checked against the

@@ -28,6 +28,8 @@ from repro.core.activity import DetectionMethod
 from repro.core.detectors.base import DetectionConfig, DetectionContext
 from repro.core.detectors.pipeline import PipelineResult
 from repro.engine.executor import TransactionView
+from repro.obs.bounded import DEFAULT_ERROR_RETENTION, BoundedLog
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 from repro.stream.alerts import Alert, AlertKind, MonitorSnapshot
 from repro.stream.cursor import DEFAULT_MAX_REORG_DEPTH, CursorTick, DatasetCursor
 from repro.stream.scheduler import DirtyTokenScheduler, TickReport
@@ -71,7 +73,9 @@ class StreamingMonitor:
         retain_scan_matches: bool = True,
         on_subscriber_error: Optional[Callable[[SubscriberError], None]] = None,
         use_kernels: Optional[bool] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
+        self.registry = registry if registry is not None else NULL_REGISTRY
         self.node = node
         self.cursor = DatasetCursor(
             node,
@@ -80,6 +84,7 @@ class StreamingMonitor:
             start_block=start_block,
             max_reorg_depth=max_reorg_depth,
             retain_scan_matches=retain_scan_matches,
+            registry=self.registry,
         )
         self.scheduler = DirtyTokenScheduler(
             self.cursor.store,
@@ -88,6 +93,7 @@ class StreamingMonitor:
             config=config,
             enabled_methods=enabled_methods,
             use_kernels=use_kernels,
+            registry=self.registry,
         )
         #: The detectors read the cursor's live account-transaction dict.
         self.context = DetectionContext(
@@ -99,11 +105,33 @@ class StreamingMonitor:
         self.watchlist: Set[str] = set(watchlist or ())
         self.tick_count = 0
         self.alerts: List[Alert] = []
-        #: Subscriber failures, in delivery order (see SubscriberError).
-        self.subscriber_errors: List[SubscriberError] = []
+        #: Recent subscriber failures, in delivery order (see
+        #: SubscriberError).  Bounded: only the last
+        #: DEFAULT_ERROR_RETENTION records are retained for the CLI
+        #: report; ``subscriber_errors.total`` counts every failure ever.
+        self.subscriber_errors: BoundedLog = BoundedLog(DEFAULT_ERROR_RETENTION)
         self._on_subscriber_error = on_subscriber_error
         self._alert_subscribers: List[AlertCallback] = []
         self._snapshot_subscribers: List[SnapshotCallback] = []
+
+        self._metric_ticks = self.registry.counter(
+            "monitor_ticks_total", "Completed monitor ticks."
+        )
+        self._metric_alerts = self.registry.counter(
+            "monitor_alerts_total", "Alerts published, labeled by kind.",
+            labels=("kind",),
+        )
+        # Pre-create every kind's child so snapshots always show the
+        # full alert taxonomy, zeros included.
+        for kind in AlertKind:
+            self._metric_alerts.labels(kind=kind.value)
+        self._metric_subscriber_errors = self.registry.counter(
+            "monitor_subscriber_errors_total",
+            "Subscriber callbacks that raised during delivery.",
+        )
+        self._metric_subscribers = self.registry.gauge(
+            "monitor_subscribers", "Registered alert + snapshot subscribers."
+        )
 
     @classmethod
     def for_world(cls, world, **kwargs) -> "StreamingMonitor":
@@ -120,11 +148,17 @@ class StreamingMonitor:
     def subscribe(self, callback: AlertCallback) -> AlertCallback:
         """Register an alert callback; returns it (decorator-friendly)."""
         self._alert_subscribers.append(callback)
+        self._metric_subscribers.set(
+            len(self._alert_subscribers) + len(self._snapshot_subscribers)
+        )
         return callback
 
     def subscribe_snapshots(self, callback: SnapshotCallback) -> SnapshotCallback:
         """Register a per-tick snapshot callback."""
         self._snapshot_subscribers.append(callback)
+        self._metric_subscribers.set(
+            len(self._alert_subscribers) + len(self._snapshot_subscribers)
+        )
         return callback
 
     def watch(self, *accounts: str) -> None:
@@ -161,18 +195,22 @@ class StreamingMonitor:
         activities before the canonical branch's confirmations are
         diffed in.
         """
-        tick = self.cursor.advance(to_block)
-        dirty: List = list(tick.rolled_back_nfts)
-        rolled_back = set(tick.rolled_back_nfts)
-        dirty.extend(nft for nft in tick.touched_nfts if nft not in rolled_back)
-        if tick.touched_accounts:
-            covered = rolled_back | set(tick.touched_nfts)
-            extra = self.cursor.tokens_touching(tick.touched_accounts) - covered
-            dirty.extend(sorted(extra, key=self.scheduler.order_of))
-        report = self.scheduler.process(dirty, self.context)
+        with self.registry.span("tick") as tick_span:
+            tick = self.cursor.advance(to_block)
+            dirty: List = list(tick.rolled_back_nfts)
+            rolled_back = set(tick.rolled_back_nfts)
+            dirty.extend(nft for nft in tick.touched_nfts if nft not in rolled_back)
+            if tick.touched_accounts:
+                covered = rolled_back | set(tick.touched_nfts)
+                extra = self.cursor.tokens_touching(tick.touched_accounts) - covered
+                dirty.extend(sorted(extra, key=self.scheduler.order_of))
+            report = self.scheduler.process(dirty, self.context)
 
-        self.tick_count += 1
-        alerts = self._alerts_for(tick, report)
+            self.tick_count += 1
+            alerts = self._alerts_for(tick, report)
+            tick_span.annotate(
+                dirty=report.dirty_token_count, alerts=len(alerts)
+            )
         snapshot = MonitorSnapshot(
             tick=self.tick_count,
             from_block=tick.from_block,
@@ -192,11 +230,15 @@ class StreamingMonitor:
             dirty_nfts=report.dirty_nfts,
         )
         self.alerts.extend(alerts)
+        self._metric_ticks.inc()
         for alert in alerts:
-            for callback in self._alert_subscribers:
-                self._deliver(callback, alert)
-        for callback in self._snapshot_subscribers:
-            self._deliver(callback, snapshot)
+            self._metric_alerts.labels(kind=alert.kind.value).inc()
+        with self.registry.span("fanout", alerts=len(alerts)):
+            for alert in alerts:
+                for callback in self._alert_subscribers:
+                    self._deliver(callback, alert)
+            for callback in self._snapshot_subscribers:
+                self._deliver(callback, snapshot)
         return snapshot
 
     def _deliver(self, callback, event) -> None:
@@ -212,6 +254,7 @@ class StreamingMonitor:
         except Exception as error:  # noqa: BLE001 -- isolation is the point
             record = SubscriberError(callback=callback, event=event, error=error)
             self.subscriber_errors.append(record)
+            self._metric_subscriber_errors.inc()
             handler = self._on_subscriber_error
             if handler is not None:
                 try:

@@ -39,6 +39,7 @@ from repro.core.detectors.pipeline import PipelineResult, build_detectors
 from repro.core.refine import RefinementResult
 from repro.engine.refine import STAGE_NAMES, StageAccumulator, refine_tokens
 from repro.engine.store import ColumnarTransferStore
+from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
 
 #: Key identifying one confirmed activity across recomputations.
 ActivityKey = Tuple[Tuple[str, ...], Tuple[str, ...]]
@@ -110,7 +111,9 @@ class DirtyTokenScheduler:
         skip_contract_removal: bool = False,
         skip_zero_volume_removal: bool = False,
         use_kernels: Optional[bool] = None,
+        registry: Optional[MetricsRegistry] = None,
     ) -> None:
+        self.registry = registry if registry is not None else NULL_REGISTRY
         self.store = store
         self.labels = labels
         self.is_contract = is_contract
@@ -160,7 +163,42 @@ class DirtyTokenScheduler:
         self._confirmed: Dict[NFTKey, Dict[ActivityKey, WashTradingActivity]] = {}
         self.confirmed_activity_count = 0
 
+        self._metric_dirty = self.registry.counter(
+            "scheduler_dirty_tokens_total",
+            "Tokens reprocessed across all ticks (dirty + repeated-SCC flips).",
+        )
+        self._metric_confirmations = self.registry.counter(
+            "scheduler_confirmations_total",
+            "Activities newly confirmed across all ticks.",
+        )
+        self._metric_retractions = self.registry.counter(
+            "scheduler_retractions_total",
+            "Confirmed activities retracted across all ticks.",
+        )
+        self._metric_tracked = self.registry.gauge(
+            "scheduler_tracked_tokens", "Tokens with detection state held."
+        )
+        self._metric_confirmed = self.registry.gauge(
+            "scheduler_confirmed_activities",
+            "Currently confirmed activities across all tokens.",
+        )
+        self.registry.gauge(
+            "scheduler_backend_info",
+            "Detection backend in use (1 = active), labeled by backend.",
+            labels=("backend",),
+        ).labels(backend=self.backend_name).set(1)
+
     # -- queries -----------------------------------------------------------
+    @property
+    def backend_name(self) -> str:
+        """Which refinement tier ticks run on: ``kernel-compiled``,
+        ``kernel-fallback``, or ``interpreted``."""
+        if not self.use_kernels:
+            return "interpreted"
+        from repro.engine.kernels.tarjan import active_backend
+
+        return f"kernel-{active_backend()}"
+
     @property
     def flagged_nfts(self) -> Set[NFTKey]:
         """NFTs with at least one currently confirmed activity."""
@@ -217,7 +255,8 @@ class DirtyTokenScheduler:
             return report
         self._refresh_masks()
 
-        refinements = self._refine_live(live) if live else []
+        with self.registry.span("refine", tokens=len(live)):
+            refinements = self._refine_live(live) if live else []
         if live and self.use_kernels:
             # Fresh per-tick wrap: account transaction lists grow between
             # ticks, so the cache must never outlive the tick.
@@ -226,44 +265,52 @@ class DirtyTokenScheduler:
             context = CachingDetectionContext(context)
 
         flipped_sets: Set[FrozenSet[str]] = set()
-        for nft in vanished:
-            self._retire_state(nft, self.states.pop(nft), flipped_sets)
-        for nft, refinement in zip(live, refinements):
-            if nft not in self._token_order:
-                self._token_order[nft] = self._order_serial
-                self._order_serial += 1
-            old = self.states.get(nft)
-            if old is not None:
-                self._retire_state(nft, old, flipped_sets)
-            state = self._detect_state(refinement, context)
-            self._install_state(nft, state, flipped_sets)
+        with self.registry.span("detect", tokens=len(live)):
+            for nft in vanished:
+                self._retire_state(nft, self.states.pop(nft), flipped_sets)
+            for nft, refinement in zip(live, refinements):
+                if nft not in self._token_order:
+                    self._token_order[nft] = self._order_serial
+                    self._order_serial += 1
+                old = self.states.get(nft)
+                if old is not None:
+                    self._retire_state(nft, old, flipped_sets)
+                state = self._detect_state(refinement, context)
+                self._install_state(nft, state, flipped_sets)
 
-        affected = set(live) | set(vanished)
-        if self._repeat_enabled:
-            for account_set in flipped_sets:
-                affected |= self._unconfirmed_index.get(account_set, set())
-        ordered_affected = sorted(affected, key=self._token_order.__getitem__)
-        report.dirty_token_count = len(ordered_affected)
-        report.dirty_nfts = tuple(ordered_affected)
+        with self.registry.span("diff"):
+            affected = set(live) | set(vanished)
+            if self._repeat_enabled:
+                for account_set in flipped_sets:
+                    affected |= self._unconfirmed_index.get(account_set, set())
+            ordered_affected = sorted(affected, key=self._token_order.__getitem__)
+            report.dirty_token_count = len(ordered_affected)
+            report.dirty_nfts = tuple(ordered_affected)
 
-        for nft in ordered_affected:
-            entries = self._confirmed_entries(nft)
-            previous = self._confirmed.get(nft, {})
-            for key, activity in entries.items():
-                if key not in previous:
-                    report.newly_confirmed.append(activity)
-            for key, activity in previous.items():
-                if key not in entries:
-                    report.retracted.append(activity)
-            if entries and not previous:
-                report.newly_flagged.append(nft)
-            self.confirmed_activity_count += len(entries) - len(previous)
-            if entries:
-                self._confirmed[nft] = entries
-            else:
-                self._confirmed.pop(nft, None)
-        for nft in vanished:
-            self._token_order.pop(nft, None)
+            for nft in ordered_affected:
+                entries = self._confirmed_entries(nft)
+                previous = self._confirmed.get(nft, {})
+                for key, activity in entries.items():
+                    if key not in previous:
+                        report.newly_confirmed.append(activity)
+                for key, activity in previous.items():
+                    if key not in entries:
+                        report.retracted.append(activity)
+                if entries and not previous:
+                    report.newly_flagged.append(nft)
+                self.confirmed_activity_count += len(entries) - len(previous)
+                if entries:
+                    self._confirmed[nft] = entries
+                else:
+                    self._confirmed.pop(nft, None)
+            for nft in vanished:
+                self._token_order.pop(nft, None)
+
+        self._metric_dirty.inc(report.dirty_token_count)
+        self._metric_confirmations.inc(len(report.newly_confirmed))
+        self._metric_retractions.inc(len(report.retracted))
+        self._metric_tracked.set(len(self.states))
+        self._metric_confirmed.set(self.confirmed_activity_count)
         return report
 
     # -- final assembly ----------------------------------------------------

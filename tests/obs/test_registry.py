@@ -1,0 +1,314 @@
+"""Registry unit tests: exactness under threads, families, exposition.
+
+The introspection layer is only trustworthy if the numbers it reports
+are *exact* where exactness is promised (counter totals, histogram
+count/sum) and honestly estimated where it is not (reservoir
+percentiles).  These tests pin both, plus the name/kind/label conflict
+rules, the collector merge, the null tier's no-op contract, and the
+Prometheus exposition round trip.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_REGISTRY,
+    DEFAULT_RESERVOIR_SIZE,
+    MetricsRegistry,
+    NullRegistry,
+    parse_prometheus,
+    render_prometheus,
+)
+
+
+class TestCounter:
+    def test_concurrent_increments_are_exact(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("work_total")
+        threads, per_thread = 8, 5000
+        barrier = threading.Barrier(threads)
+
+        def hammer():
+            barrier.wait()
+            for _ in range(per_thread):
+                counter.inc()
+
+        workers = [threading.Thread(target=hammer) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert counter.value == threads * per_thread
+
+    def test_increment_by_amount(self):
+        counter = MetricsRegistry().counter("batch_total")
+        counter.inc(41)
+        counter.inc()
+        assert counter.value == 42
+
+    def test_counters_only_go_up(self):
+        counter = MetricsRegistry().counter("monotone_total")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = MetricsRegistry().gauge("level")
+        gauge.set(10)
+        gauge.inc(5)
+        gauge.dec(2)
+        assert gauge.value == 13
+
+    def test_concurrent_inc_dec_balance_out(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("connections")
+        threads, per_thread = 6, 3000
+
+        def churn():
+            for _ in range(per_thread):
+                gauge.inc()
+                gauge.dec()
+
+        workers = [threading.Thread(target=churn) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert gauge.value == 0
+
+
+class TestHistogram:
+    def test_count_and_sum_are_exact_past_the_reservoir(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("latency_seconds")
+        observations = DEFAULT_RESERVOIR_SIZE * 4
+        for value in range(observations):
+            histogram.observe(float(value))
+        snapshot = histogram.snapshot()
+        assert snapshot.count == observations
+        assert snapshot.sum == float(sum(range(observations)))
+        assert snapshot.min == 0.0
+        assert snapshot.max == float(observations - 1)
+
+    def test_percentiles_exact_while_reservoir_holds_everything(self):
+        histogram = MetricsRegistry().histogram("small")
+        for value in range(101):  # 0..100, well under the reservoir
+            histogram.observe(float(value))
+        assert histogram.percentile(0.5) == 50.0
+        assert histogram.percentile(0.0) == 0.0
+        assert histogram.percentile(1.0) == 100.0
+
+    def test_percentiles_estimated_after_overflow(self):
+        histogram = MetricsRegistry().histogram("big")
+        values = list(range(10_000))
+        random.Random(7).shuffle(values)
+        for value in values:
+            histogram.observe(float(value))
+        snapshot = histogram.snapshot()
+        # A 512-slot uniform sample of 0..9999: the estimates must land
+        # in generous but meaningful bands around the true quantiles.
+        assert 3500 <= snapshot.p50 <= 6500
+        assert 8800 <= snapshot.p95 <= 10_000
+        assert snapshot.p95 <= snapshot.p99 <= 10_000
+
+    def test_quantile_bounds_checked(self):
+        histogram = MetricsRegistry().histogram("bounds")
+        with pytest.raises(ValueError):
+            histogram.percentile(1.5)
+
+    def test_empty_histogram_snapshots_to_zeroes(self):
+        snapshot = MetricsRegistry().histogram("idle").snapshot()
+        assert snapshot.count == 0
+        assert snapshot.sum == 0.0
+        assert snapshot.p99 == 0.0
+        assert snapshot.mean == 0.0
+
+    def test_observe_never_touches_global_random_state(self):
+        """The parity guarantee: reservoir sampling is privately seeded."""
+        random.seed(1234)
+        expected = [random.random() for _ in range(5)]
+        random.seed(1234)
+        histogram = MetricsRegistry().histogram("sampler")
+        for value in range(DEFAULT_RESERVOIR_SIZE * 3):
+            histogram.observe(float(value))
+        assert [random.random() for _ in range(5)] == expected
+
+    def test_concurrent_observations_keep_exact_totals(self):
+        histogram = MetricsRegistry().histogram("threaded")
+        threads, per_thread = 8, 2000
+
+        def observe():
+            for _ in range(per_thread):
+                histogram.observe(1.0)
+
+        workers = [threading.Thread(target=observe) for _ in range(threads)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join()
+        assert histogram.count == threads * per_thread
+        assert histogram.sum == float(threads * per_thread)
+
+
+class TestFamilies:
+    def test_children_are_get_or_create(self):
+        registry = MetricsRegistry()
+        family = registry.counter("requests_total", labels=("verb",))
+        assert family.labels(verb="ping") is family.labels("ping")
+        assert family.labels(verb="ping") is not family.labels(verb="stats")
+
+    def test_snapshot_renders_labeled_names(self):
+        registry = MetricsRegistry()
+        family = registry.counter("requests_total", labels=("verb",))
+        family.labels(verb="ping").inc(3)
+        counters = registry.snapshot()["counters"]
+        assert counters['requests_total{verb="ping"}'] == 3
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        family = registry.counter("weird_total", labels=("tag",))
+        family.labels(tag='a"b\n').inc()
+        (name,) = registry.snapshot()["counters"]
+        assert name == 'weird_total{tag="a\\"b\\n"}'
+
+    def test_wrong_label_arity_rejected(self):
+        family = MetricsRegistry().counter("multi_total", labels=("a", "b"))
+        with pytest.raises(ValueError):
+            family.labels("only-one")
+        with pytest.raises(ValueError):
+            family.labels(a="x")  # missing b
+
+    def test_labeled_histograms_work(self):
+        registry = MetricsRegistry()
+        family = registry.histogram("stage_seconds", labels=("stage",))
+        family.labels(stage="refine").observe(0.5)
+        histograms = registry.snapshot()["histograms"]
+        assert histograms['stage_seconds{stage="refine"}']["count"] == 1
+
+
+class TestRegistryRules:
+    def test_get_or_create_returns_the_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("x_total") is registry.counter("x_total")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("taken")
+        with pytest.raises(ValueError):
+            registry.gauge("taken")
+
+    def test_label_set_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("labeled_total", labels=("verb",))
+        with pytest.raises(ValueError):
+            registry.counter("labeled_total", labels=("kind",))
+        with pytest.raises(ValueError):
+            registry.counter("labeled_total")
+
+    def test_collectors_merge_into_snapshot(self):
+        registry = MetricsRegistry()
+        registry.register_collector(
+            lambda: {"counters": {"cache_hits_total": 7}, "gauges": {"entries": 2}}
+        )
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["cache_hits_total"] == 7
+        assert snapshot["gauges"]["entries"] == 2
+
+    def test_broken_collector_is_skipped(self):
+        registry = MetricsRegistry()
+
+        def broken():
+            raise RuntimeError("scrape me not")
+
+        registry.register_collector(broken)
+        registry.register_collector(lambda: {"counters": {"ok_total": 1}})
+        assert registry.snapshot()["counters"] == {"ok_total": 1}
+
+
+class TestNullRegistry:
+    def test_singleton_is_disabled(self):
+        assert NULL_REGISTRY.enabled is False
+        assert MetricsRegistry().enabled is True
+
+    def test_everything_is_a_noop(self):
+        registry = NullRegistry()
+        counter = registry.counter("ignored_total")
+        counter.inc(100)
+        assert counter.value == 0
+        gauge = registry.gauge("ignored")
+        gauge.set(5)
+        gauge.inc()
+        assert gauge.value == 0
+        histogram = registry.histogram("ignored_seconds")
+        histogram.observe(1.0)
+        assert histogram.snapshot().count == 0
+        assert histogram.percentile(0.99) == 0.0
+
+    def test_span_is_reusable_and_annotatable(self):
+        registry = NullRegistry()
+        with registry.span("tick", depth=3) as span:
+            span.annotate(alerts=1)
+        with registry.span("tick"):
+            pass
+        assert registry.recent_spans() == []
+
+    def test_snapshot_is_empty(self):
+        registry = NullRegistry()
+        registry.counter("ignored_total", labels=("verb",)).labels(verb="x").inc()
+        registry.register_collector(lambda: {"counters": {"nope": 1}})
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+class TestExposition:
+    def build(self):
+        registry = MetricsRegistry()
+        registry.counter("blocks_total", "Blocks ingested.").inc(12)
+        registry.gauge("tracked", "Tracked tokens.").set(3.5)
+        requests = registry.counter("requests_total", labels=("verb",))
+        requests.labels(verb="ping").inc(2)
+        latency = registry.histogram("tick_seconds", "Tick latency.")
+        for value in (0.1, 0.2, 0.3, 0.4):
+            latency.observe(value)
+        return registry
+
+    def test_render_parse_round_trip(self):
+        registry = self.build()
+        samples = parse_prometheus(render_prometheus(registry))
+        assert samples["blocks_total"] == 12
+        assert samples["tracked"] == 3.5
+        assert samples['requests_total{verb="ping"}'] == 2
+        assert samples["tick_seconds_count"] == 4
+        assert samples["tick_seconds_sum"] == pytest.approx(1.0)
+        assert samples['tick_seconds{quantile="0.5"}'] == pytest.approx(0.3)
+
+    def test_help_and_type_lines_present(self):
+        text = render_prometheus(self.build())
+        assert "# HELP blocks_total Blocks ingested." in text
+        assert "# TYPE blocks_total counter" in text
+        assert "# TYPE tracked gauge" in text
+        assert "# TYPE tick_seconds summary" in text
+
+    def test_labeled_histogram_suffixes_keep_labels(self):
+        registry = MetricsRegistry()
+        family = registry.histogram("span_seconds", labels=("span",))
+        family.labels(span="refine").observe(0.25)
+        samples = parse_prometheus(render_prometheus(registry))
+        assert samples['span_seconds_count{span="refine"}'] == 1
+        assert samples['span_seconds{span="refine",quantile="0.95"}'] == 0.25
+
+    def test_malformed_line_raises(self):
+        with pytest.raises(ValueError):
+            parse_prometheus("this is not a sample\n")
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+        assert parse_prometheus("") == {}

@@ -1,0 +1,147 @@
+"""Span tracing: the ring, the sinks, and the span_seconds family."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import JsonLinesSink, MetricsRegistry
+from repro.obs.bounded import DEFAULT_ERROR_RETENTION, BoundedLog
+from repro.obs.tracing import DEFAULT_RING_SIZE
+
+
+class TestSpans:
+    def test_span_records_name_attrs_and_duration(self):
+        registry = MetricsRegistry()
+        with registry.span("refine", tokens=42):
+            pass
+        (record,) = registry.recent_spans()
+        assert record.name == "refine"
+        assert record.attrs == {"tokens": 42}
+        assert record.duration >= 0.0
+        assert record.error is None
+
+    def test_annotate_attaches_mid_span_attributes(self):
+        registry = MetricsRegistry()
+        with registry.span("ingest", blocks=5) as span:
+            span.annotate(transfers=17)
+        (record,) = registry.recent_spans()
+        assert record.attrs == {"blocks": 5, "transfers": 17}
+
+    def test_exception_is_recorded_and_propagated(self):
+        registry = MetricsRegistry()
+        with pytest.raises(RuntimeError):
+            with registry.span("detect"):
+                raise RuntimeError("boom")
+        (record,) = registry.recent_spans()
+        assert record.error == "RuntimeError"
+        assert record.as_dict()["error"] == "RuntimeError"
+
+    def test_spans_nest(self):
+        registry = MetricsRegistry()
+        with registry.span("tick"):
+            with registry.span("refine"):
+                pass
+        assert [r.name for r in registry.recent_spans()] == ["refine", "tick"]
+
+    def test_ring_is_bounded(self):
+        registry = MetricsRegistry()
+        for index in range(DEFAULT_RING_SIZE + 50):
+            with registry.span("tick", n=index):
+                pass
+        recent = registry.recent_spans()
+        assert len(recent) == DEFAULT_RING_SIZE
+        assert recent[-1].attrs == {"n": DEFAULT_RING_SIZE + 49}
+        assert recent[0].attrs == {"n": 50}
+
+    def test_span_seconds_family_is_populated(self):
+        registry = MetricsRegistry()
+        with registry.span("publish"):
+            pass
+        with registry.span("publish"):
+            pass
+        histograms = registry.snapshot()["histograms"]
+        assert histograms['span_seconds{span="publish"}']["count"] == 2
+
+    def test_as_dict_shape(self):
+        registry = MetricsRegistry()
+        with registry.span("fanout", alerts=3):
+            pass
+        (record,) = registry.recent_spans()
+        payload = record.as_dict()
+        assert payload["span"] == "fanout"
+        assert payload["attrs"] == {"alerts": 3}
+        assert payload["duration_s"] >= 0.0
+        assert "ts" in payload
+
+
+class TestSinks:
+    def test_sinks_receive_every_record(self):
+        registry = MetricsRegistry()
+        seen = []
+        registry.add_span_sink(seen.append)
+        with registry.span("tick"):
+            pass
+        assert [record.name for record in seen] == ["tick"]
+
+    def test_broken_sink_never_fails_the_operation(self):
+        registry = MetricsRegistry()
+
+        def broken(record):
+            raise OSError("disk full")
+
+        seen = []
+        registry.add_span_sink(broken)
+        registry.add_span_sink(seen.append)
+        with registry.span("tick"):
+            pass
+        assert len(seen) == 1
+
+    def test_json_lines_sink_writes_parseable_lines(self, tmp_path):
+        registry = MetricsRegistry()
+        path = tmp_path / "spans.jsonl"
+        sink = JsonLinesSink(str(path))
+        registry.add_span_sink(sink)
+        with registry.span("ingest", blocks=10):
+            pass
+        with registry.span("refine"):
+            pass
+        sink.close()
+        lines = path.read_text().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert [record["span"] for record in records] == ["ingest", "refine"]
+        assert records[0]["attrs"] == {"blocks": 10}
+
+    def test_closed_sink_drops_silently(self, tmp_path):
+        registry = MetricsRegistry()
+        sink = JsonLinesSink(str(tmp_path / "spans.jsonl"))
+        registry.add_span_sink(sink)
+        sink.close()
+        with registry.span("tick"):  # must not raise
+            pass
+
+
+class TestBoundedLog:
+    def test_behaves_like_a_list_until_the_cap(self):
+        log = BoundedLog(3)
+        log.append("a")
+        log.extend(["b", "c"])
+        assert log == ["a", "b", "c"]
+        assert log.total == 3
+        assert log.dropped == 0
+
+    def test_drops_oldest_past_the_cap(self):
+        log = BoundedLog(3)
+        for index in range(10):
+            log.append(index)
+        assert log == [7, 8, 9]
+        assert log.total == 10
+        assert log.dropped == 7
+
+    def test_default_retention(self):
+        log = BoundedLog()
+        for index in range(DEFAULT_ERROR_RETENTION + 5):
+            log.append(index)
+        assert len(log) == DEFAULT_ERROR_RETENTION
+        assert log.total == DEFAULT_ERROR_RETENTION + 5
