@@ -263,6 +263,15 @@ def build_monitor_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help=(
+            "worker processes for per-tick dirty-token refinement; 0 or 1 "
+            "runs the deterministic serial path (default: 0)"
+        ),
+    )
+    parser.add_argument(
         "--quiet",
         action="store_true",
         help="print only the final summary line, not the alert stream",
@@ -302,6 +311,24 @@ def build_serve_parser() -> argparse.ArgumentParser:
         default=DEFAULT_MAX_REORG_DEPTH,
         metavar="BLOCKS",
         help="rollback journal window passed to the monitor",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help=(
+            "worker processes for per-tick dirty-token refinement; 0 or 1 "
+            "runs the deterministic serial path (default: 0)"
+        ),
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help=(
+            "partition the read model into N token-range shards behind a "
+            "scatter-gather router (default: 1, the single index)"
+        ),
     )
     parser.add_argument(
         "--no-cache",
@@ -569,6 +596,7 @@ def run_monitor(argv: Sequence[str]) -> int:
         retain_scan_matches=not args.bounded_memory,
         enabled_methods=_enabled_methods(args),
         registry=obs.registry,
+        workers=args.workers,
     )
 
     if not args.quiet:
@@ -601,6 +629,7 @@ def run_monitor(argv: Sequence[str]) -> int:
     started = time.time()
     snapshots = monitor.run(step_blocks=args.step_blocks)
     elapsed = time.time() - started
+    monitor.close()
     obs.finish()
 
     result = monitor.result()
@@ -654,9 +683,13 @@ def run_serve(argv: Sequence[str]) -> int:
             retain_scan_matches=not args.bounded_memory,
             enabled_methods=_enabled_methods(args),
             registry=obs.registry,
+            workers=args.workers,
         )
         service = ServeService(
-            monitor, use_cache=not args.no_cache, registry=obs.registry
+            monitor,
+            use_cache=not args.no_cache,
+            registry=obs.registry,
+            shards=args.shards,
         )
         query = service.query
 
@@ -745,12 +778,27 @@ def run_serve(argv: Sequence[str]) -> int:
                 enabled_methods=_enabled_methods(args),
             ).run(build_dataset(world.node, world.marketplace_addresses))
             mismatches = serving_parity_mismatches(query, batch)
+            if args.shards > 1:
+                # The partitioned index additionally proves each shard
+                # holds exactly its routed slice of the batch answer.
+                from repro.serve import sharded_parity_mismatches
+
+                mismatches.extend(
+                    sharded_parity_mismatches(service.index, batch)
+                )
             if mismatches:
                 for mismatch in mismatches:
                     print(f"parity mismatch: {mismatch}", file=sys.stderr)
                 status = 2
             elif not args.quiet:
-                print("serving parity vs batch build: OK")
+                print(
+                    "serving parity vs batch build: OK"
+                    + (
+                        f" (globally and across {args.shards} shards)"
+                        if args.shards > 1
+                        else ""
+                    )
+                )
             if args.listen is not None:
                 # The same bar through the socket: every wire answer must
                 # equal the in-process answer at the pinned version.
@@ -774,11 +822,13 @@ def run_serve(argv: Sequence[str]) -> int:
             print("expected a non-empty confirmed set", file=sys.stderr)
             status = max(status, 1)
 
-        if not args.quiet and service.cache is not None:
-            stats = service.cache.stats
+        cache_stats = service.cache_stats()
+        if not args.quiet and cache_stats is not None:
+            shard_note = f" across {args.shards} shards" if args.shards > 1 else ""
             print(
-                f"aggregate cache: {stats.hits} hits / {stats.lookups} lookups "
-                f"({stats.hit_rate:.1%}), {stats.invalidated} invalidated"
+                f"aggregate cache{shard_note}: {cache_stats.hits} hits / "
+                f"{cache_stats.lookups} lookups ({cache_stats.hit_rate:.1%}), "
+                f"{cache_stats.invalidated} invalidated"
             )
         tick_line = (
             f"tick p50 {ticks.p50 * 1e3:.1f}ms "

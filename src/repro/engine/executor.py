@@ -174,6 +174,131 @@ def _run_shard(tokens: Sequence[TokenColumns], payload: SharedPayload) -> ShardR
     )
 
 
+def run_token_state_shard(
+    tokens: Sequence[TokenColumns], payload: SharedPayload
+) -> List[Tuple[List[StageAccumulator], List[CandidateComponent], List[List[DetectionEvidence]]]]:
+    """One *scheduler* shard: per-token refinement plus detector evidence.
+
+    Unlike :func:`_run_shard` (which merges a whole shard into one
+    result), the streaming scheduler keeps per-token state, so element
+    ``i`` is ``tokens[i]``'s ``(stages, candidates, evidence)`` triple --
+    exactly what ``DirtyTokenScheduler._detect_state`` computes serially
+    for that token.  Batching is output-invariant in both refinement
+    tiers, so concatenating shard results in shard order is positionally
+    identical to a serial pass over the same tokens.
+    """
+    tokens = list(tokens)
+    if payload.use_kernels:
+        from repro.engine.kernels import refine_token_states
+
+        refinements = refine_token_states(
+            payload.accounts,
+            tokens,
+            service_ids=payload.service_ids,
+            contract_ids=payload.contract_ids,
+            skip_service_removal=payload.skip_service_removal,
+            skip_contract_removal=payload.skip_contract_removal,
+            skip_zero_volume_removal=payload.skip_zero_volume_removal,
+        )
+    else:
+        refinements = [
+            refine_tokens(
+                payload.accounts,
+                [columns],
+                service_ids=payload.service_ids,
+                contract_ids=payload.contract_ids,
+                skip_service_removal=payload.skip_service_removal,
+                skip_contract_removal=payload.skip_contract_removal,
+                skip_zero_volume_removal=payload.skip_zero_volume_removal,
+            )
+            for columns in tokens
+        ]
+    from repro.core.detectors.pipeline import build_detectors
+
+    detectors = build_detectors(payload.enabled_methods)
+    context = DetectionContext(
+        dataset=TransactionView(payload.account_transactions),
+        labels=payload.labels,
+        is_contract=AccountSetPredicate(payload.contract_addresses),
+        config=payload.config,
+    )
+    if payload.use_kernels:
+        from repro.engine.kernels.context import CachingDetectionContext
+
+        context = CachingDetectionContext(context)
+    results = []
+    for refinement in refinements:
+        evidence_lists: List[List[DetectionEvidence]] = []
+        for component in refinement.candidates:
+            evidence: List[DetectionEvidence] = []
+            for detector in detectors:
+                found = detector.detect(component, context)
+                if found is not None:
+                    evidence.append(found)
+            evidence_lists.append(evidence)
+        results.append((refinement.stages, refinement.candidates, evidence_lists))
+    return results
+
+
+def _run_token_states_in_worker(
+    task: Tuple[Sequence[TokenColumns], SharedPayload]
+):
+    tokens, payload = task
+    return run_token_state_shard(tokens, payload)
+
+
+class SchedulerPool:
+    """A persistent process pool for per-tick scheduler fan-out.
+
+    The batch executor builds a fresh pool per run because a run happens
+    once; the streaming scheduler ticks thousands of times, so workers
+    are forked lazily on first use and reused for the monitor's
+    lifetime.  The account table and transaction index grow between
+    ticks, so every tick ships its own :class:`SharedPayload` with each
+    shard task instead of relying on initializer-time state.
+
+    A pool that fails once (pickling, broken worker, interpreter
+    without working multiprocessing) is closed and marked ``failed``;
+    every later tick then takes the deterministic serial path without
+    re-warning.
+    """
+
+    def __init__(self, workers: int) -> None:
+        self.workers = max(2, int(workers))
+        self.failed = False
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def map_shards(self, shard_tokens, payload: SharedPayload):
+        """Per-shard token-state rows, or ``None`` to request serial."""
+        if self.failed:
+            return None
+        try:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            return list(
+                self._pool.map(
+                    _run_token_states_in_worker,
+                    [(tokens, payload) for tokens in shard_tokens],
+                )
+            )
+        except Exception as error:  # pool or pickling failure -> serial
+            warnings.warn(
+                f"scheduler process pool failed ({error!r}); "
+                "falling back to serial tick execution",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.failed = True
+            self.close()
+            return None
+
+    def close(self) -> None:
+        """Shut the workers down; the next tick runs serially."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+
 #: Worker-process state, populated once by the pool initializer.
 _WORKER_PAYLOAD: List[SharedPayload] = []
 

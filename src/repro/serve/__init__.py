@@ -17,6 +17,14 @@ wallet actually calls.  Four pieces:
 * :mod:`repro.serve.cache` -- :class:`AggregateCache`, a result cache
   for the expensive aggregates invalidated *precisely* by the
   scheduler's per-tick dirty-token set instead of wholesale.
+* :mod:`repro.serve.sharding` / :mod:`repro.serve.router` -- the
+  partitioned live path: :class:`ShardedServeIndex` splits the read
+  model into token-range shards (stable CRC32 routing, one shared
+  alert log, two-phase stage-then-flip publication for global snapshot
+  isolation) and :class:`ShardRouter` serves the unchanged
+  :class:`QueryService` surface over it -- point lookups hash-route,
+  listings k-way merge, aggregates scatter-gather per-shard cached
+  partials; ``python -m repro serve --shards N`` turns it on.
 * :mod:`repro.serve.service` -- :class:`ServeService`, the facade that
   runs monitor ingest (inline or on a background thread) and the query
   front end together; ``python -m repro serve`` is its CLI.
@@ -49,9 +57,19 @@ from repro.serve.model import (
     TokenStatus,
     record_key,
 )
-from repro.serve.parity import serving_parity_mismatches
+from repro.serve.parity import (
+    serving_parity_mismatches,
+    sharded_parity_mismatches,
+)
 from repro.serve.query import AlertReplayCursor, ConfirmedPage, QueryService
+from repro.serve.router import ShardRouter
 from repro.serve.service import ServeService
+from repro.serve.sharding import (
+    GlobalVersion,
+    ShardSpec,
+    ShardedServeIndex,
+    shard_of,
+)
 from repro.serve.wire import (
     RemoteQueryService,
     WireClient,
@@ -72,6 +90,7 @@ __all__ = [
     "CollectionRollup",
     "ConfirmedPage",
     "FunnelSnapshot",
+    "GlobalVersion",
     "LoadGenerator",
     "MarketplaceRollup",
     "OFF_MARKET",
@@ -79,7 +98,12 @@ __all__ = [
     "ServeIndex",
     "ServeService",
     "ServeVersion",
+    "ShardRouter",
+    "ShardSpec",
+    "ShardedServeIndex",
     "TokenStatus",
     "record_key",
     "serving_parity_mismatches",
+    "shard_of",
+    "sharded_parity_mismatches",
 ]

@@ -28,6 +28,7 @@ dirty-set-keyed invalidation.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.chain.types import NFTKey
@@ -39,6 +40,7 @@ from repro.serve.cache import (
     collection_scope,
     venue_scope,
 )
+from repro.serve.funnel import FunnelMaintainer
 from repro.serve.model import (
     AccountProfile,
     ActivityRecord,
@@ -55,6 +57,21 @@ from repro.stream.monitor import StreamingMonitor
 VersionCallback = Callable[[ServeVersion], None]
 
 
+@dataclass
+class StagedVersion:
+    """One tick folded in but not yet published (two-phase publish).
+
+    ``stage_snapshot`` returns this; ``commit_staged`` flips the
+    ``current`` handle and ``invalidate_staged`` bumps the cache --
+    split so a sharded coordinator can stage *every* shard before any
+    handle flips, and flip every handle before any cache invalidation.
+    """
+
+    version: ServeVersion
+    #: The cache scopes this tick's (owned) dirty slice may have moved.
+    scopes: Set[Scope]
+
+
 class ServeIndex:
     """Maintains and publishes the immutable read model, tick by tick."""
 
@@ -63,6 +80,9 @@ class ServeIndex:
         monitor: StreamingMonitor,
         cache: Optional[AggregateCache] = None,
         registry: Optional[MetricsRegistry] = None,
+        shard=None,
+        alert_log: Optional[List[Alert]] = None,
+        attach: bool = True,
     ) -> None:
         self.monitor = monitor
         self.cache = cache
@@ -71,9 +91,18 @@ class ServeIndex:
             if registry is not None
             else getattr(monitor, "registry", None) or NULL_REGISTRY
         )
+        #: Restriction of this index to one token-range shard: any
+        #: object with ``index`` and ``contains(nft)`` (see
+        #: :class:`repro.serve.sharding.ShardSpec`; duck-typed here to
+        #: keep the import DAG acyclic).  ``None`` serves everything.
+        self.shard = shard
         #: Append-only copy of every alert the monitor published since
         #: (and including) the bootstrap -- ``alert_log[seq].seq == seq``.
-        self.alert_log: List[Alert] = []
+        #: A sharded deployment passes one shared list: the coordinator
+        #: owns (extends) it, the shards only read, so ``seq`` stays
+        #: globally gapless with a single source of truth.
+        self._owns_log = alert_log is None
+        self.alert_log: List[Alert] = [] if alert_log is None else alert_log
         self.versions_published = 0
         self._version_subscribers: List[VersionCallback] = []
         #: Recent version-subscriber failures, isolated like the
@@ -83,9 +112,28 @@ class ServeIndex:
         #: ``(callback, version, error)`` tuples; ``.total`` counts all.
         self.subscriber_errors: BoundedLog = BoundedLog(DEFAULT_ERROR_RETENTION)
 
-        self._metric_versions = self.registry.counter(
-            "serve_versions_published_total", "Immutable versions published."
-        )
+        if shard is None:
+            self._metric_versions = self.registry.counter(
+                "serve_versions_published_total", "Immutable versions published."
+            )
+            self._metric_confirmed = self.registry.gauge(
+                "serve_confirmed_records", "Confirmed activity records being served."
+            )
+        else:
+            # Shard instances label the same families instead of
+            # claiming the bare name, so the stats surface aggregates
+            # them per shard without colliding.
+            label = str(shard.index)
+            self._metric_versions = self.registry.counter(
+                "serve_versions_published_total",
+                "Immutable versions published.",
+                labels=("shard",),
+            ).labels(shard=label)
+            self._metric_confirmed = self.registry.gauge(
+                "serve_confirmed_records",
+                "Confirmed activity records being served.",
+                labels=("shard",),
+            ).labels(shard=label)
         self._metric_subscriber_errors = self.registry.counter(
             "serve_subscriber_errors_total",
             "Version-subscriber callbacks that raised during publish.",
@@ -93,11 +141,10 @@ class ServeIndex:
         self._metric_alert_log = self.registry.gauge(
             "serve_alert_log_entries", "Alerts held in the replayable log."
         )
-        self._metric_confirmed = self.registry.gauge(
-            "serve_confirmed_records", "Confirmed activity records being served."
-        )
         if cache is not None:
-            cache.register_metrics(self.registry)
+            cache.register_metrics(
+                self.registry, shard=None if shard is None else shard.index
+            )
 
         self._records: Dict[RecordKey, ActivityRecord] = {}
         self._token_records: Dict[NFTKey, Dict[RecordKey, ActivityRecord]] = {}
@@ -105,9 +152,16 @@ class ServeIndex:
         self._token_status: Dict[NFTKey, TokenStatus] = {}
         self._account_records: Dict[str, Dict[RecordKey, ActivityRecord]] = {}
         self._profiles: Dict[str, AccountProfile] = {}
+        #: Shard instances maintain their funnel partial differentially
+        #: (O(dirty slice) per tick) and publish it on every version;
+        #: the monolithic index keeps its recompute-from-states design.
+        self.funnel_state: Optional[FunnelMaintainer] = (
+            None if shard is None else FunnelMaintainer()
+        )
 
         self._bootstrap()
-        monitor.subscribe_snapshots(self._on_snapshot)
+        if attach:
+            monitor.subscribe_snapshots(self._on_snapshot)
 
     # -- public surface ----------------------------------------------------
     @property
@@ -149,7 +203,8 @@ class ServeIndex:
         their *latest* confirmation exactly as if the index had been
         attached from the start.
         """
-        self.alert_log.extend(self.monitor.alerts)
+        if self._owns_log:
+            self.alert_log.extend(self.monitor.alerts)
         confirmation_info: Dict[RecordKey, Tuple[int, int]] = {}
         for alert in self.alert_log:
             if alert.kind is AlertKind.ACTIVITY_CONFIRMED:
@@ -160,9 +215,16 @@ class ServeIndex:
         for nft in sorted(
             self.monitor.scheduler.flagged_nfts, key=self.monitor.scheduler.order_of
         ):
-            self._rebuild_token(nft, confirmation_info, set(), set())
+            if self._owns(nft):
+                self._rebuild_token(nft, confirmation_info, set(), set())
         for account in list(self._account_records):
             self._rebuild_profile(account)
+        if self.funnel_state is not None:
+            self.funnel_state.rebuild(
+                state
+                for nft, state in self.monitor.scheduler.states.items()
+                if self._owns(nft)
+            )
         self._current = self._build_version(
             version=self.monitor.tick_count,
             dirty_token_count=0,
@@ -172,20 +234,41 @@ class ServeIndex:
         )
         self.versions_published += 1
         self._metric_versions.inc()
-        self._metric_alert_log.set(len(self.alert_log))
+        if self._owns_log:
+            self._metric_alert_log.set(len(self.alert_log))
         self._metric_confirmed.set(len(self._records))
 
     # -- tick application --------------------------------------------------
-    def _on_snapshot(self, snapshot: MonitorSnapshot) -> None:
-        """Fold one monitor tick into the model and publish a version."""
-        with self.registry.span("publish", dirty=snapshot.dirty_token_count):
-            self._apply_snapshot(snapshot)
-        self._metric_versions.inc()
-        self._metric_alert_log.set(len(self.alert_log))
-        self._metric_confirmed.set(len(self._records))
+    def _owns(self, nft: NFTKey) -> bool:
+        """True when this index serves the token (always, unsharded)."""
+        return self.shard is None or self.shard.contains(nft)
 
-    def _apply_snapshot(self, snapshot: MonitorSnapshot) -> None:
-        self.alert_log.extend(snapshot.alerts)
+    def _on_snapshot(self, snapshot: MonitorSnapshot) -> None:
+        """Fold one monitor tick into the model and publish a version.
+
+        The unsharded path simply runs the two-phase pieces back to
+        back; a sharded coordinator interleaves them across shards
+        instead (stage all, flip all, invalidate all).
+        """
+        with self.registry.span("publish", dirty=snapshot.dirty_token_count):
+            staged = self.stage_snapshot(snapshot)
+            # Publish before invalidating: a reader that captured the
+            # old cache generations and then computes from this new
+            # version can only be *discarded* by the invalidation,
+            # never cached stale.
+            self.commit_staged(staged)
+            self.invalidate_staged(staged)
+            self.notify_subscribers(staged.version)
+
+    def stage_snapshot(self, snapshot: MonitorSnapshot) -> StagedVersion:
+        """Fold one tick's owned slice in; build but don't publish.
+
+        Nothing a reader can observe changes here: the working maps are
+        private, and the returned version only becomes visible when
+        :meth:`commit_staged` swaps the ``current`` reference.
+        """
+        if self._owns_log:
+            self.alert_log.extend(snapshot.alerts)
         confirmation_info: Dict[RecordKey, Tuple[int, int]] = {}
         for alert in snapshot.alerts:
             if alert.kind is AlertKind.ACTIVITY_CONFIRMED:
@@ -194,41 +277,84 @@ class ServeIndex:
                     alert.block,
                 )
 
+        dirty = [nft for nft in snapshot.dirty_nfts if self._owns(nft)]
         touched_accounts: Set[str] = set()
         changed_venues: Set[str] = set()
-        for nft in snapshot.dirty_nfts:
+        for nft in dirty:
             self._rebuild_token(
                 nft, confirmation_info, touched_accounts, changed_venues
             )
         for account in touched_accounts:
             self._rebuild_profile(account)
+        if self.funnel_state is not None and dirty:
+            # Retire each dirty token's previous funnel contribution and
+            # install the fresh one -- the full delta, because the
+            # scheduler reports every re-installed state as dirty.
+            previous_states = self._current.token_states
+            fresh_states = self.monitor.scheduler.states
+            for nft in dirty:
+                self.funnel_state.apply(
+                    previous_states.get(nft), fresh_states.get(nft)
+                )
 
-        # A tick that moved nothing (no re-detection, no store growth,
-        # no rollback) publishes a fresh version *sharing* the previous
-        # one's containers: publishing is then O(1), so a service
-        # polling an idle chain pays nothing per tick.
-        unchanged = (
-            not snapshot.dirty_nfts
-            and snapshot.new_transfer_count == 0
-            and snapshot.rolled_back_transfer_count == 0
-        )
+        # A tick that moved nothing publishes a fresh version *sharing*
+        # the previous one's containers: publishing is then O(1).  The
+        # unsharded index requires a fully idle tick (no re-detection,
+        # no store growth, no rollback); a shard only needs its own
+        # dirty slice empty -- new or rolled-back tokens are always in
+        # the dirty set, so untouched shards stay O(1) even while the
+        # rest of the world churns (shard store_stats may then lag; the
+        # coordinator captures fresh global stats every tick).
+        if self.shard is None:
+            unchanged = (
+                not snapshot.dirty_nfts
+                and snapshot.new_transfer_count == 0
+                and snapshot.rolled_back_transfer_count == 0
+            )
+            retracted_count = snapshot.retracted_count
+            newly_confirmed_count = snapshot.newly_confirmed_count
+        else:
+            unchanged = not dirty
+            retracted_count = sum(
+                1
+                for alert in snapshot.alerts
+                if alert.kind is AlertKind.ACTIVITY_RETRACTED
+                and self._owns(alert.nft)
+            )
+            newly_confirmed_count = sum(
+                1
+                for alert in snapshot.alerts
+                if alert.kind is AlertKind.ACTIVITY_CONFIRMED
+                and self._owns(alert.nft)
+            )
         version = self._build_version(
             version=snapshot.tick,
-            dirty_token_count=snapshot.dirty_token_count,
+            dirty_token_count=len(dirty),
             reorg_depth=snapshot.reorg_depth,
-            retracted_count=snapshot.retracted_count,
-            newly_confirmed_count=snapshot.newly_confirmed_count,
+            retracted_count=retracted_count,
+            newly_confirmed_count=newly_confirmed_count,
             reuse=self._current if unchanged else None,
         )
-        # Publish before invalidating: a reader that captured the old
-        # cache generations and then computes from this new version can
-        # only be *discarded* by the invalidation, never cached stale.
-        self._current = version
+        return StagedVersion(
+            version=version, scopes=self._scopes_for(tuple(dirty), changed_venues)
+        )
+
+    def commit_staged(self, staged: StagedVersion) -> None:
+        """Flip ``current`` to the staged version (one atomic swap)."""
+        self._current = staged.version
         self.versions_published += 1
+        self._metric_versions.inc()
+        if self._owns_log:
+            self._metric_alert_log.set(len(self.alert_log))
+        self._metric_confirmed.set(len(self._records))
+
+    def invalidate_staged(self, staged: StagedVersion) -> None:
+        """Bump the cache with the tick's owned slice of the dirty set."""
         if self.cache is not None:
-            self.cache.invalidate(
-                self._scopes_for(snapshot.dirty_nfts, changed_venues)
-            )
+            self.cache.invalidate(staged.scopes)
+
+    def notify_subscribers(self, version: ServeVersion) -> None:
+        """Deliver one published version to every subscriber, isolated."""
         for callback in self._version_subscribers:
             try:
                 callback(version)
@@ -356,6 +482,7 @@ class ServeIndex:
             token_states = reuse.token_states
             token_order = reuse.token_order
             store_stats = reuse.store_stats
+            funnel = reuse.funnel
         else:
             store = self.monitor.cursor.store
             confirmed = tuple(
@@ -366,9 +493,27 @@ class ServeIndex:
             )
             token_status = dict(self._token_status)
             account_profiles = dict(self._profiles)
-            token_states = dict(self.monitor.scheduler.states)
-            token_order = tuple(store.tokens)
+            if self.shard is None:
+                token_states = dict(self.monitor.scheduler.states)
+                token_order = tuple(store.tokens)
+            else:
+                # The shard's slice of the world, in global store order
+                # (so concatenating shard ordering facts -- collection
+                # token counts, funnel partials -- reproduces the
+                # single-index numbers exactly).
+                contains = self.shard.contains
+                token_states = {
+                    nft: state
+                    for nft, state in self.monitor.scheduler.states.items()
+                    if contains(nft)
+                }
+                token_order = tuple(nft for nft in store.tokens if contains(nft))
             store_stats = StoreStats.capture(store)
+            funnel = (
+                None
+                if self.funnel_state is None
+                else self.funnel_state.partial(version, len(confirmed))
+            )
         return ServeVersion(
             version=version,
             block=self.monitor.processed_block,
@@ -383,4 +528,5 @@ class ServeIndex:
             token_states=token_states,
             token_order=token_order,
             store_stats=store_stats,
+            funnel=funnel,
         )

@@ -264,6 +264,12 @@ class ServeVersion:
     #: Store token ordering at publish time.
     token_order: Tuple[NFTKey, ...] = ()
     store_stats: StoreStats = StoreStats(0, 0, 0)
+    #: The shard's differentially maintained funnel partial (see
+    #: :mod:`repro.serve.funnel`), frozen at publish time.  Only shard
+    #: versions carry one; the monolithic index recomputes its funnel
+    #: from ``token_states`` instead.  Typed loosely to keep the module
+    #: import DAG acyclic.
+    funnel: Optional[object] = field(repr=False, compare=False, default=None)
 
     @property
     def is_revision(self) -> bool:

@@ -24,10 +24,12 @@ from typing import Any, Dict, Optional, TYPE_CHECKING
 
 from repro.core.detectors.pipeline import PipelineResult
 from repro.obs.registry import NULL_REGISTRY, HistogramSnapshot, MetricsRegistry
-from repro.serve.cache import AggregateCache
+from repro.serve.cache import AggregateCache, CacheStats
 from repro.serve.index import ServeIndex
 from repro.serve.model import ServeVersion
 from repro.serve.query import QueryService
+from repro.serve.router import ShardRouter
+from repro.serve.sharding import ShardedServeIndex
 from repro.stream.monitor import StreamingMonitor
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -42,7 +44,10 @@ class ServeService:
         monitor: StreamingMonitor,
         use_cache: bool = True,
         registry: Optional[MetricsRegistry] = None,
+        shards: int = 1,
     ) -> None:
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
         self.monitor = monitor
         #: The service inherits its monitor's registry unless given its
         #: own, so one registry spans ingest through serving.
@@ -51,9 +56,23 @@ class ServeService:
             if registry is not None
             else getattr(monitor, "registry", None) or NULL_REGISTRY
         )
-        self.cache: Optional[AggregateCache] = AggregateCache() if use_cache else None
-        self.index = ServeIndex(monitor, cache=self.cache, registry=self.registry)
-        self.query = QueryService(self.index, cache=self.cache)
+        self.shards = shards
+        if shards > 1:
+            #: The partitioned read model keeps one cache *per shard*
+            #: (invalidated by its own dirty slice); the service-level
+            #: handle stays None and :meth:`cache_stats` aggregates.
+            self.cache: Optional[AggregateCache] = None
+            self.index = ShardedServeIndex(
+                monitor,
+                shard_count=shards,
+                use_cache=use_cache,
+                registry=self.registry,
+            )
+            self.query: QueryService = ShardRouter(self.index)
+        else:
+            self.cache = AggregateCache() if use_cache else None
+            self.index = ServeIndex(monitor, cache=self.cache, registry=self.registry)
+            self.query = QueryService(self.index, cache=self.cache)
         #: Per-tick wall-clock latency of background ingest, as a
         #: bounded-reservoir histogram: exact count/sum, estimated
         #: percentiles, O(1) memory however long the service runs.
@@ -85,6 +104,7 @@ class ServeService:
         world,
         use_cache: bool = True,
         registry: Optional[MetricsRegistry] = None,
+        shards: int = 1,
         **monitor_kwargs,
     ) -> "ServeService":
         """Build a service over a simulated world's handles."""
@@ -94,6 +114,7 @@ class ServeService:
             StreamingMonitor.for_world(world, **monitor_kwargs),
             use_cache=use_cache,
             registry=registry,
+            shards=shards,
         )
 
     # -- introspection -----------------------------------------------------
@@ -115,6 +136,30 @@ class ServeService:
                 self.tick_latency.snapshot().as_dict()
             )
         return snapshot
+
+    def cache_stats(self) -> Optional[CacheStats]:
+        """Aggregate-cache counters, summed across shards when sharded.
+
+        None when caching is disabled.  The summed view is what the CLI
+        summary and the benchmark report; per-shard counters remain
+        visible through the registry's labeled series.
+        """
+        if self.shards > 1:
+            caches = [cache for cache in self.index.caches if cache is not None]
+            if self.index.router_cache is not None:
+                caches.append(self.index.router_cache)
+        else:
+            caches = [self.cache] if self.cache is not None else []
+        if not caches:
+            return None
+        total = CacheStats()
+        for cache in caches:
+            stats = cache.stats
+            total.hits += stats.hits
+            total.misses += stats.misses
+            total.invalidated += stats.invalidated
+            total.stale_discards += stats.stale_discards
+        return total
 
     # -- inline driving ----------------------------------------------------
     def advance(self, to_block: Optional[int] = None) -> ServeVersion:
@@ -238,6 +283,10 @@ class ServeService:
         if self.wire is not None:
             self.wire.close(timeout=wire_timeout)
         self.stop(timeout)
+        # Release the scheduler's worker pool (no-op when serial).
+        close = getattr(self.monitor, "close", None)
+        if close is not None:
+            close()
 
     # -- passthroughs ------------------------------------------------------
     def result(self) -> PipelineResult:

@@ -405,6 +405,10 @@ class WireConnectionHandler(socketserver.StreamRequestHandler):
         # histograms, tick-stage timings, cache ratios, reorg counters)
         # rides alongside under "metrics".
         stats: Dict[str, Any] = dict(self.server.stats())
+        # How many read-model shards sit behind the query surface (1
+        # when unsharded) -- lets an operator confirm the topology the
+        # service actually runs without scraping labeled metrics.
+        stats["shards"] = getattr(self.server.query.index, "shard_count", 1)
         stats["metrics"] = self.server.metrics_snapshot()
         return stats
 
