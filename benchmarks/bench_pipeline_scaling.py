@@ -139,8 +139,12 @@ def test_kernel_beats_engine_on_largest_world(largest_world):
     assert fallback_best < engine_best
 
 
-def _stream_best_of(rounds, world, registry_factory):
-    """Best-of-``rounds`` full streaming ingest over ``world``'s chain."""
+def _stream_best_of(rounds, world, registry_factory, configure=None):
+    """Best-of-``rounds`` full streaming ingest over ``world``'s chain.
+
+    ``configure(service, registry)`` runs before each timed ingest --
+    the hook the instrumented variant uses to attach its SLO engine.
+    """
     import time as _time
 
     best = None
@@ -149,6 +153,8 @@ def _stream_best_of(rounds, world, registry_factory):
     for _ in range(rounds):
         registry = registry_factory()
         service = ServeService.for_world(world, registry=registry)
+        if configure is not None:
+            configure(service, registry)
         started = _time.perf_counter()
         service.run()
         elapsed = _time.perf_counter() - started
@@ -161,19 +167,37 @@ def _stream_best_of(rounds, world, registry_factory):
 def test_obs_overhead_on_largest_world(largest_world, obs_enabled):
     """Instrumentation must cost <5% of ingest at the largest scale.
 
-    The tentpole's overhead bar: a full streaming ingest (cursor ->
+    The observability overhead bar: a full streaming ingest (cursor ->
     scheduler -> monitor -> serving index, every layer carrying its
-    counters and spans) over the largest selected world must stay
-    within 5% of the identical uninstrumented run -- and must produce
-    the identical detection result.  Best-of-five per variant to damp
-    machine noise.
+    counters and spans, plus the ISSUE 9 layers -- per-tick trace
+    minting and context, the alert-latency ledger, and a live SLO
+    engine evaluating a latency and an error-rate objective every tick)
+    over the largest selected world must stay within 5% of the
+    identical uninstrumented run -- and must produce the identical
+    detection result.  Best-of-five per variant to damp machine noise.
     """
-    from repro.obs import MetricsRegistry
+    from repro.obs import (
+        MetricsRegistry,
+        SLOEngine,
+        latency_objective,
+        wire_error_objective,
+    )
+
+    def attach_slo(service, registry):
+        service.attach_slo(
+            SLOEngine(
+                registry,
+                [
+                    latency_objective(0.25, stage="detect"),
+                    wire_error_objective(0.01),
+                ],
+            )
+        )
 
     label, world, _ = largest_world
     bare_best, bare_result, _ = _stream_best_of(5, world, lambda: None)
     obs_best, obs_result, registry = _stream_best_of(
-        5, world, MetricsRegistry
+        5, world, MetricsRegistry, configure=attach_slo
     )
 
     overhead = obs_best / bare_best - 1.0
@@ -181,16 +205,28 @@ def test_obs_overhead_on_largest_world(largest_world, obs_enabled):
     blocks = snapshot["counters"]["cursor_blocks_ingested_total"]
     ticks = snapshot["counters"]["monitor_ticks_total"]
     tick_spans = snapshot["histograms"]['span_seconds{span="tick"}']["count"]
+    detect_latency = snapshot["histograms"][
+        'alert_latency_seconds{stage="detect"}'
+    ]
     print(
         f"\n== obs overhead [{label} world] == "
         f"bare={bare_best:.3f}s instrumented={obs_best:.3f}s "
         f"({overhead * 100:+.2f}%, bar +5%)\n"
         f"  instrumented run saw {blocks} blocks, {ticks} ticks, "
-        f"{tick_spans} tick spans"
+        f"{tick_spans} tick spans, detect-stage latency "
+        f"p95={detect_latency['p95'] * 1e3:.2f}ms "
+        f"over {int(detect_latency['count'])} traces"
     )
     assert obs_result.activity_count == bare_result.activity_count
     assert obs_result.candidate_count == bare_result.candidate_count
     assert snapshot["counters"]["monitor_ticks_total"] > 0
+    # The new layers really ran: every tick left a trace in the ledger
+    # and the SLO gauges were evaluated.
+    assert detect_latency["count"] == ticks
+    assert snapshot["gauges"]['slo_healthy{slo="alert-latency-detect-p95"}'] in (
+        0,
+        1,
+    )
     assert overhead < 0.05, (
         f"instrumentation cost {overhead:.1%} of ingest on the {label} "
         f"world; the observability bar is <5%"

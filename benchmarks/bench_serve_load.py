@@ -481,13 +481,16 @@ def test_obs_identical_answers_and_overhead(serve_profile, obs_enabled):
     """Same workload instrumented vs bare: same answers, marginal cost.
 
     Reports the instrumented-vs-bare comparison column (ingest ticks and
-    query throughput) and asserts the answers are identical; the hard
-    <5% ingest-overhead bar lives in ``bench_pipeline_scaling`` where
-    the world is large enough for the ratio to be meaningful.
+    query throughput) plus the end-to-end alert-latency column -- the
+    block-seen-to-socket-write p50/p95 a live wire subscriber actually
+    experienced -- and asserts the answers are identical; the hard <5%
+    ingest-overhead bar lives in ``bench_pipeline_scaling`` where the
+    world is large enough for the ratio to be meaningful.
     """
     import dataclasses
 
     from repro.obs import MetricsRegistry
+    from repro.serve.wire import WireClient
 
     world = build_default_world(serve_profile["preset"]())
     head = world.node.block_number
@@ -496,6 +499,12 @@ def test_obs_identical_answers_and_overhead(serve_profile, obs_enabled):
     results = {}
     for label, registry in (("bare", None), ("obs", MetricsRegistry())):
         service = ServeService.for_world(world, registry=registry)
+        # Both runs carry one live wire subscriber so the tick loop does
+        # identical fan-out work -- and the instrumented run's latency
+        # ledger sees the terminal socket_write marks.
+        server = service.serve_wire()
+        subscriber = WireClient(*server.address).connect()
+        stream = subscriber.subscribe(-1)
         rng = random.Random(7)
         query_time = 0.0
         served = 0
@@ -512,12 +521,23 @@ def test_obs_identical_answers_and_overhead(serve_profile, obs_enabled):
                 serve_profile["point_queries"],
             )
             query_time += time.perf_counter() - started
+        # Drain the stream so every published alert reached the socket.
+        delivered = 0
+        expected = len(service.monitor.alerts)
+        while delivered < expected:
+            alert = stream.next(timeout=10.0)
+            assert alert is not None, (
+                f"subscriber stalled at {delivered}/{expected} alerts"
+            )
+            delivered += 1
+        subscriber.close()
         results[label] = {
             "service": service,
             "registry": registry,
             "tick_time": tick_time,
             "query_time": query_time,
             "served": served,
+            "delivered": delivered,
         }
 
     bare, obs = results["bare"], results["obs"]
@@ -564,6 +584,31 @@ def test_obs_identical_answers_and_overhead(serve_profile, obs_enabled):
         f"  obs surface: tick p95={tick_spans['p95'] * 1e3:.2f}ms "
         f"cache hit ratio={snapshot['gauges']['serve_cache_hit_ratio']:.1%}"
     )
+
+    # The end-to-end alert-latency column: block-seen to socket-write as
+    # the live subscriber experienced it, one observation per delivered
+    # frame.  The ledger must close the full path for every frame; the
+    # client can count a frame a beat before the server-side pusher
+    # records its mark, so give the last observation a moment to land.
+    deadline = time.perf_counter() + 5.0
+    while time.perf_counter() < deadline:
+        snapshot = obs["registry"].snapshot()
+        total_latency = snapshot["histograms"][
+            'alert_latency_seconds{stage="total"}'
+        ]
+        if total_latency["count"] >= obs["delivered"]:
+            break
+        time.sleep(0.01)
+    assert total_latency["count"] == obs["delivered"] > 0
+    print(
+        f"  alert e2e (block-seen→socket-write): "
+        f"p50={total_latency['p50'] * 1e3:.2f}ms "
+        f"p95={total_latency['p95'] * 1e3:.2f}ms "
+        f"over {int(total_latency['count'])} delivered frames"
+    )
+
+    for run in results.values():
+        run["service"].shutdown()
 
 
 def test_wire_load_parity_under_live_ingest(serve_profile, wire_enabled):

@@ -22,6 +22,10 @@ Two subcommands share the synthetic-world presets:
 * ``query`` drives a running wire server from the command line: point
   lookups, listings, rollups, the funnel, the alert log, and a live
   ``subscribe`` stream, each printed as JSON.
+* ``probe`` health-checks a running wire server and exits 0/1/2
+  (ok/degraded/unhealthy-or-unreachable) for scripting.
+* ``top`` is a curses-free live dashboard over the ``stats`` and
+  ``health`` verbs (``--once`` for a single snapshot).
 """
 
 from __future__ import annotations
@@ -46,7 +50,7 @@ PRESETS = {
 }
 
 #: Recognized subcommands; a bare flag list falls through to ``run``.
-COMMANDS = ("run", "monitor", "serve", "query")
+COMMANDS = ("run", "monitor", "serve", "query", "probe", "top")
 
 
 def parse_endpoint(value: str) -> Tuple[str, int]:
@@ -379,8 +383,195 @@ def build_serve_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print only the final summary line",
     )
+    slo = parser.add_argument_group(
+        "service-level objectives",
+        "evaluated once per tick; a blown error budget emits a typed "
+        "SLO_BREACH alert on the wire and flips the health verb to "
+        "'degraded'",
+    )
+    slo.add_argument(
+        "--slo-latency-p95",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "objective: p95 end-to-end alert latency (block-seen to "
+            "socket-write) stays under SECONDS"
+        ),
+    )
+    slo.add_argument(
+        "--slo-error-rate",
+        type=float,
+        default=None,
+        metavar="RATIO",
+        help="objective: wire error rate stays under RATIO (e.g. 0.01)",
+    )
+    slo.add_argument(
+        "--slo-window",
+        type=int,
+        default=32,
+        metavar="TICKS",
+        help="rolling evaluation window, in ticks (default: 32)",
+    )
+    slo.add_argument(
+        "--slo-budget",
+        type=float,
+        default=0.1,
+        metavar="FRACTION",
+        help=(
+            "error budget: fraction of window evaluations allowed to "
+            "miss before the objective breaches (default: 0.1)"
+        ),
+    )
     _add_obs_arguments(parser)
     return parser
+
+
+def build_probe_parser() -> argparse.ArgumentParser:
+    """The ``probe`` (scriptable health check) command-line interface."""
+    parser = argparse.ArgumentParser(
+        prog="repro probe",
+        description=(
+            "Health-check a running wire server: print the health verb's "
+            "JSON and exit 0 (ok), 1 (degraded) or 2 (unhealthy or "
+            "unreachable) -- suitable for liveness/readiness scripting."
+        ),
+    )
+    parser.add_argument(
+        "endpoint",
+        type=parse_endpoint,
+        metavar="HOST:PORT",
+        help="wire server endpoint (':PORT' probes localhost)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        help="socket timeout in seconds (default: 5)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress the JSON payload; communicate via exit code only",
+    )
+    return parser
+
+
+def run_probe(argv: Sequence[str]) -> int:
+    """One health round-trip, mapped onto an exit code."""
+    from repro.serve.wire import WireClient
+
+    args = build_probe_parser().parse_args(argv)
+    host, port = args.endpoint
+    try:
+        with WireClient(host, port, timeout=args.timeout) as client:
+            health = client.health()
+    except Exception as error:  # noqa: BLE001 - any failure means "down"
+        if not args.quiet:
+            print(
+                json.dumps(
+                    {"status": "unreachable", "error": str(error)},
+                    sort_keys=True,
+                )
+            )
+        print(f"probe: {host}:{port} unreachable: {error}", file=sys.stderr)
+        return 2
+    if not args.quiet:
+        print(json.dumps(health, indent=2, sort_keys=True))
+    status = health.get("status")
+    if status == "ok":
+        return 0
+    if status == "degraded":
+        return 1
+    return 2
+
+
+def build_top_parser() -> argparse.ArgumentParser:
+    """The ``top`` (live dashboard) command-line interface."""
+    parser = argparse.ArgumentParser(
+        prog="repro top",
+        description=(
+            "Live terminal dashboard for a running wire server: polls the "
+            "stats and health verbs and renders ingest progress, tick and "
+            "alert latency, wire pressure and SLO budgets (curses-free; "
+            "plain ANSI refresh)."
+        ),
+    )
+    parser.add_argument(
+        "endpoint",
+        type=parse_endpoint,
+        metavar="HOST:PORT",
+        help="wire server endpoint (':PORT' watches localhost)",
+    )
+    parser.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh period (default: 2)",
+    )
+    parser.add_argument(
+        "--once",
+        action="store_true",
+        help="render a single snapshot and exit (no screen clearing)",
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the raw stats+health dicts as one JSON object per poll",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=5.0,
+        help="socket timeout in seconds (default: 5)",
+    )
+    return parser
+
+
+def run_top(argv: Sequence[str]) -> int:
+    """Poll stats+health and redraw the dashboard until interrupted."""
+    from repro.obs import render_dashboard
+    from repro.serve.wire import WireClient
+
+    args = build_top_parser().parse_args(argv)
+    host, port = args.endpoint
+    endpoint = f"{host}:{port}"
+    try:
+        while True:
+            # One short-lived connection per poll: survives server
+            # restarts between refreshes and needs no keepalive logic.
+            try:
+                with WireClient(host, port, timeout=args.timeout) as client:
+                    stats = client.stats()
+                    health = client.health()
+            except Exception as error:  # noqa: BLE001
+                if args.once:
+                    print(f"top: {endpoint} unreachable: {error}", file=sys.stderr)
+                    return 2
+                if not args.as_json:
+                    print("\x1b[2J\x1b[H", end="")
+                print(f"repro top — {endpoint} — UNREACHABLE ({error})", flush=True)
+                time.sleep(args.interval)
+                continue
+            if args.as_json:
+                print(
+                    json.dumps(
+                        {"stats": stats, "health": health}, sort_keys=True
+                    ),
+                    flush=True,
+                )
+            else:
+                screen = render_dashboard(stats, health, endpoint=endpoint)
+                if not args.once:
+                    print("\x1b[2J\x1b[H", end="")
+                print(screen, flush=True)
+            if args.once:
+                return 0
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def build_query_parser() -> argparse.ArgumentParser:
@@ -693,6 +884,32 @@ def run_serve(argv: Sequence[str]) -> int:
         )
         query = service.query
 
+        objectives = []
+        if args.slo_latency_p95 is not None:
+            from repro.obs import latency_objective
+
+            objectives.append(
+                latency_objective(
+                    args.slo_latency_p95,
+                    window=args.slo_window,
+                    budget=args.slo_budget,
+                )
+            )
+        if args.slo_error_rate is not None:
+            from repro.obs import wire_error_objective
+
+            objectives.append(
+                wire_error_objective(
+                    args.slo_error_rate,
+                    window=args.slo_window,
+                    budget=args.slo_budget,
+                )
+            )
+        if objectives:
+            from repro.obs import SLOEngine
+
+            service.attach_slo(SLOEngine(obs.registry, objectives))
+
         if args.listen is not None:
             server = service.serve_wire(*args.listen)
             wire_host, wire_port = server.address
@@ -874,6 +1091,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return run_serve(argv)
     if command == "query":
         return run_query(argv)
+    if command == "probe":
+        return run_probe(argv)
+    if command == "top":
+        return run_top(argv)
     return run_batch(argv)
 
 

@@ -4,17 +4,22 @@ Stdlib-only.  One :class:`MetricsRegistry` travels through a live
 service's layers (cursor, scheduler, monitor, serve index, wire
 server); every component defaults to the shared no-op
 :data:`NULL_REGISTRY` so uninstrumented runs pay nothing.  See
-``docs/architecture.md`` § Observability for the metric catalog and
-span taxonomy.
+``docs/architecture.md`` § Observability for the metric catalog, span
+taxonomy, trace lifecycle, latency stages and SLO catalog.
 """
 
 from repro.obs.bounded import DEFAULT_ERROR_RETENTION, BoundedLog
-from repro.obs.console import PeriodicReporter, format_stats_line
+from repro.obs.console import (
+    PeriodicReporter,
+    format_stats_line,
+    render_dashboard,
+)
 from repro.obs.exposition import (
     parse_prometheus,
     render_prometheus,
     write_prometheus,
 )
+from repro.obs.latency import MARKS, STAGES, AlertLatencyLedger
 from repro.obs.registry import (
     DEFAULT_RESERVOIR_SIZE,
     NULL_REGISTRY,
@@ -25,9 +30,23 @@ from repro.obs.registry import (
     MetricsRegistry,
     NullRegistry,
 )
-from repro.obs.tracing import JsonLinesSink, Span, SpanRecord, Tracer
+from repro.obs.slo import (
+    SLOBreach,
+    SLOEngine,
+    SLOObjective,
+    latency_objective,
+    wire_error_objective,
+)
+from repro.obs.tracing import (
+    JsonLinesSink,
+    Span,
+    SpanRecord,
+    Tracer,
+    mint_trace,
+)
 
 __all__ = [
+    "AlertLatencyLedger",
     "BoundedLog",
     "Counter",
     "DEFAULT_ERROR_RETENTION",
@@ -36,15 +55,24 @@ __all__ = [
     "Histogram",
     "HistogramSnapshot",
     "JsonLinesSink",
+    "MARKS",
     "MetricsRegistry",
     "NULL_REGISTRY",
     "NullRegistry",
     "PeriodicReporter",
+    "SLOBreach",
+    "SLOEngine",
+    "SLOObjective",
+    "STAGES",
     "Span",
     "SpanRecord",
     "Tracer",
     "format_stats_line",
+    "latency_objective",
+    "mint_trace",
     "parse_prometheus",
+    "render_dashboard",
     "render_prometheus",
+    "wire_error_objective",
     "write_prometheus",
 ]

@@ -20,6 +20,7 @@ samples keep their rendered ``name{label="value"}`` key).
 from __future__ import annotations
 
 import math
+import os
 import re
 from typing import Dict, Tuple
 
@@ -109,10 +110,21 @@ def render_prometheus(registry: MetricsRegistry) -> str:
 
 
 def write_prometheus(registry: MetricsRegistry, path: str) -> None:
-    """Atomically-enough rewrite of the exposition file at ``path``."""
+    """Atomic rewrite of the exposition file at ``path``.
+
+    The text lands in ``path + ".tmp"`` first and is moved into place
+    with :func:`os.replace` (atomic on POSIX and Windows within one
+    filesystem), so a scraper -- or a reporter process killed mid-write
+    -- can never leave a torn file at ``path``: readers see the old
+    complete exposition or the new complete one, nothing in between.
+    """
     text = render_prometheus(registry)
-    with open(path, "w", encoding="utf-8") as handle:
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
         handle.write(text)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp_path, path)
 
 
 def parse_prometheus(text: str) -> Dict[str, float]:

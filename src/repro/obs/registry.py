@@ -320,8 +320,10 @@ class MetricsRegistry:
         self._collectors: List[Callable[[], Dict[str, Dict[str, float]]]] = []
         # Tracing state is installed lazily by repro.obs.tracing the
         # first time span() runs; kept here so one object travels
-        # through the stack.
+        # through the stack.  The alert-latency ledger follows the same
+        # lazy pattern (repro.obs.latency).
         self._tracer = None
+        self._latency = None
 
     # -- instrument creation ----------------------------------------------
     def _get_or_create(
@@ -418,6 +420,37 @@ class MetricsRegistry:
             return []
         return self._tracer.recent()
 
+    def trace_context(self, trace: str):
+        """Bind ``trace`` as the calling thread's trace id for a block.
+
+        Spans opened inside the block (on the same thread) record the
+        id, which is how one tick's ingest/refine/detect/publish/fanout
+        spans end up queryable as a single trace.
+        """
+        return self.tracer.trace_context(trace)
+
+    def current_trace(self) -> str:
+        """The calling thread's active trace id ("" outside any)."""
+        if self._tracer is None:
+            return ""
+        return self._tracer.current_trace()
+
+    # -- alert latency (installed by repro.obs.latency) --------------------
+    @property
+    def latency(self):
+        """The registry's alert-latency ledger, materialized on first use."""
+        if self._latency is None:
+            from repro.obs.latency import AlertLatencyLedger
+
+            # Same benign race as ``tracer`` above: built outside the
+            # lock, first assignment wins, duplicates share the one
+            # get-or-created histogram family.
+            candidate = AlertLatencyLedger(self)
+            with self._lock:
+                if self._latency is None:
+                    self._latency = candidate
+        return self._latency
+
     # -- reading -----------------------------------------------------------
     def _flattened(self) -> List[Any]:
         """Every concrete instrument, families expanded into children."""
@@ -449,6 +482,20 @@ class MetricsRegistry:
             for key in ("counters", "gauges"):
                 merged[key].update(contributed.get(key, ()))
         return merged
+
+    def counter_values(self) -> Dict[str, float]:
+        """Counter samples only -- the cheap slice of :meth:`snapshot`.
+
+        Per-tick consumers (the SLO engine's error-rate objectives) read
+        this instead of the full snapshot so no histogram reservoir is
+        sorted on the ingest hot path.
+        """
+        counters: Dict[str, float] = {}
+        for metric in self._flattened():
+            if metric.kind == "counter":
+                counters[metric.name] = metric.value
+        counters.update(self._collected()["counters"])
+        return counters
 
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
         """One JSON-friendly read of everything the registry knows."""
@@ -518,8 +565,24 @@ class _NullSpan:
         pass
 
 
+class _NullLedger:
+    """The no-op alert-latency ledger; same surface, records nothing."""
+
+    __slots__ = ()
+
+    def mark(self, trace: str, mark: str, at: Optional[float] = None) -> None:
+        pass
+
+    def marks(self, trace: str) -> Dict[str, float]:
+        return {}
+
+    def pending(self) -> int:
+        return 0
+
+
 _NULL_INSTRUMENT = _NullInstrument()
 _NULL_SPAN = _NullSpan()
+_NULL_LEDGER = _NullLedger()
 
 
 class NullRegistry(MetricsRegistry):
@@ -548,6 +611,19 @@ class NullRegistry(MetricsRegistry):
 
     def recent_spans(self):
         return []
+
+    def trace_context(self, trace: str) -> _NullSpan:
+        return _NULL_SPAN
+
+    def current_trace(self) -> str:
+        return ""
+
+    @property
+    def latency(self) -> _NullLedger:
+        return _NULL_LEDGER
+
+    def counter_values(self) -> Dict[str, float]:
+        return {}
 
     def snapshot(self) -> Dict[str, Dict[str, Any]]:
         return {"counters": {}, "gauges": {}, "histograms": {}}

@@ -1,0 +1,283 @@
+"""Declarative SLOs: rolling windows, error budgets, burn rates.
+
+An :class:`SLOObjective` states what "good" means -- ``p95 of the
+end-to-end alert latency stays under 250ms``, ``the wire error rate
+stays under 1%`` -- and an :class:`SLOEngine` evaluates every attached
+objective once per monitor tick:
+
+* each evaluation classifies the tick as *good* or *bad* against the
+  objective's threshold and appends it to a rolling window of the last
+  ``window`` evaluations;
+* the *error budget* is the fraction of that window allowed to be bad
+  (``budget=0.1`` tolerates 10% bad ticks); ``budget_used`` is how much
+  of it the current window has consumed, and ``burn_rate`` is the pace
+  (1.0 = exactly exhausting the budget over a full window);
+* three gauge families track every objective live --
+  ``slo_healthy{slo}``, ``slo_budget_used{slo}``,
+  ``slo_burn_rate{slo}``;
+* the moment ``budget_used`` crosses 1.0 the engine reports a
+  :class:`SLOBreach`, which the monitor turns into a typed
+  ``SLO_BREACH`` operator alert on the ordinary alert bus -- wire
+  subscribers see budget exhaustion through the same channel as
+  detections.  Breaches are edge-triggered: one alert per excursion,
+  re-armed when the budget recovers below 1.0.
+
+The engine is strictly opt-in (``--slo-*`` CLI flags) and read-only
+over the metrics surface, so attaching it cannot perturb detection
+results -- only add operator alerts to the stream.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "SLOObjective",
+    "SLOBreach",
+    "SLOEngine",
+    "latency_objective",
+    "wire_error_objective",
+]
+
+#: Wire counters whose sum forms the error numerator of the
+#: ``error_rate`` objective kind.  Matched by prefix against snapshot
+#: counter names so labeled children aggregate naturally.
+_WIRE_ERROR_COUNTERS = (
+    "wire_request_errors_total",
+    "wire_internal_errors_total",
+    "wire_frame_errors_total",
+)
+_WIRE_REQUEST_COUNTER = "wire_requests_total"
+
+
+@dataclass(frozen=True)
+class SLOObjective:
+    """One service-level objective, declaratively."""
+
+    name: str
+    description: str
+    kind: str  # "latency" | "error_rate"
+    threshold: float
+    window: int = 32
+    budget: float = 0.1
+    stage: str = "total"  # latency kind: alert_latency_seconds stage
+    quantile: float = 0.95  # latency kind: which percentile to test
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("latency", "error_rate"):
+            raise ValueError(f"unknown SLO kind {self.kind!r}")
+        if self.window < 1:
+            raise ValueError("window must be >= 1")
+        if not 0.0 < self.budget <= 1.0:
+            raise ValueError("budget must be within (0, 1]")
+        if self.kind == "latency" and not 0.0 <= self.quantile <= 1.0:
+            raise ValueError("quantile must be within [0, 1]")
+
+
+def latency_objective(
+    threshold_seconds: float,
+    stage: str = "total",
+    quantile: float = 0.95,
+    window: int = 32,
+    budget: float = 0.1,
+    name: Optional[str] = None,
+) -> SLOObjective:
+    """``p<quantile>(alert_latency_seconds{stage}) < threshold``."""
+    label = name or f"alert-latency-{stage}-p{int(round(quantile * 100))}"
+    return SLOObjective(
+        name=label,
+        description=(
+            f"p{int(round(quantile * 100))} of alert_latency_seconds"
+            f"{{stage={stage}}} stays under {threshold_seconds}s"
+        ),
+        kind="latency",
+        threshold=threshold_seconds,
+        window=window,
+        budget=budget,
+        stage=stage,
+        quantile=quantile,
+    )
+
+
+def wire_error_objective(
+    max_ratio: float,
+    window: int = 32,
+    budget: float = 0.1,
+    name: str = "wire-error-rate",
+) -> SLOObjective:
+    """``errors / requests`` over each evaluation interval stays under
+    ``max_ratio`` (intervals with no new requests are skipped)."""
+    return SLOObjective(
+        name=name,
+        description=f"wire error rate stays under {max_ratio:.2%}",
+        kind="error_rate",
+        threshold=max_ratio,
+        window=window,
+        budget=budget,
+    )
+
+
+@dataclass(frozen=True)
+class SLOBreach:
+    """An objective whose error budget just crossed exhaustion."""
+
+    objective: SLOObjective
+    value: float
+    budget_used: float
+    burn_rate: float
+
+    @property
+    def detail(self) -> str:
+        return (
+            f"{self.objective.description}; observed {self.value:.6g} vs "
+            f"threshold {self.objective.threshold:.6g}, budget "
+            f"{self.budget_used:.0%} used"
+        )
+
+
+class _ObjectiveState:
+    __slots__ = ("window", "breached", "last_requests", "last_errors")
+
+    def __init__(self, objective: SLOObjective) -> None:
+        self.window: Deque[bool] = deque(maxlen=objective.window)
+        self.breached = False
+        self.last_requests = 0.0
+        self.last_errors = 0.0
+
+
+class SLOEngine:
+    """Evaluates a set of objectives against a registry, once per tick."""
+
+    def __init__(self, registry, objectives: Sequence[SLOObjective]) -> None:
+        names = [objective.name for objective in objectives]
+        if len(set(names)) != len(names):
+            raise ValueError("objective names must be unique")
+        self.registry = registry
+        self.objectives: Tuple[SLOObjective, ...] = tuple(objectives)
+        self._lock = threading.Lock()
+        self._states = {
+            objective.name: _ObjectiveState(objective)
+            for objective in self.objectives
+        }
+        # Latency objectives re-read the same histogram child every
+        # tick; cache the child so the hot path skips the family lookup.
+        self._latency_children: Dict[str, object] = {}
+        self._healthy = registry.gauge(
+            "slo_healthy",
+            "1 while the objective's error budget holds, 0 once breached.",
+            labels=("slo",),
+        )
+        self._budget_used = registry.gauge(
+            "slo_budget_used",
+            "Fraction of the objective's error budget consumed (1.0 = exhausted).",
+            labels=("slo",),
+        )
+        self._burn_rate = registry.gauge(
+            "slo_burn_rate",
+            "Pace of budget consumption (1.0 = exhausting exactly one "
+            "window's budget per window).",
+            labels=("slo",),
+        )
+        for objective in self.objectives:
+            self._healthy.labels(slo=objective.name).set(1)
+            self._budget_used.labels(slo=objective.name).set(0.0)
+            self._burn_rate.labels(slo=objective.name).set(0.0)
+
+    # -- measurement -------------------------------------------------------
+    def _measure_latency(self, objective: SLOObjective) -> Optional[float]:
+        child = self._latency_children.get(objective.name)
+        if child is None:
+            family = self.registry.histogram(
+                "alert_latency_seconds",
+                "Ingest-to-alert latency, broken down by pipeline stage.",
+                labels=("stage",),
+            )
+            child = family.labels(stage=objective.stage)
+            self._latency_children[objective.name] = child
+        if child.count == 0:
+            return None
+        return child.percentile(objective.quantile)
+
+    def _measure_error_rate(
+        self, objective: SLOObjective, state: _ObjectiveState
+    ) -> Optional[float]:
+        # Counters only: evaluate() runs on the ingest hot path, and a
+        # full snapshot would sort every histogram reservoir per tick.
+        counters = self.registry.counter_values()
+        requests = sum(
+            value
+            for name, value in counters.items()
+            if name.startswith(_WIRE_REQUEST_COUNTER)
+        )
+        errors = sum(
+            value
+            for name, value in counters.items()
+            if name.startswith(_WIRE_ERROR_COUNTERS)
+        )
+        delta_requests = requests - state.last_requests
+        delta_errors = errors - state.last_errors
+        state.last_requests = requests
+        state.last_errors = errors
+        if delta_requests <= 0:
+            return None
+        return max(delta_errors, 0.0) / delta_requests
+
+    # -- evaluation --------------------------------------------------------
+    def evaluate(self) -> List[SLOBreach]:
+        """Classify this tick for every objective; report new breaches."""
+        breaches: List[SLOBreach] = []
+        with self._lock:
+            for objective in self.objectives:
+                state = self._states[objective.name]
+                if objective.kind == "latency":
+                    value = self._measure_latency(objective)
+                else:
+                    value = self._measure_error_rate(objective, state)
+                if value is None:
+                    # Nothing observable this tick -- neither good nor
+                    # bad; the window and budget hold still.
+                    continue
+                state.window.append(value > objective.threshold)
+                bad = sum(state.window)
+                allowed = objective.budget * objective.window
+                budget_used = bad / allowed if allowed else float(bad > 0)
+                bad_fraction = bad / len(state.window)
+                burn_rate = bad_fraction / objective.budget
+                healthy = budget_used < 1.0
+                self._healthy.labels(slo=objective.name).set(int(healthy))
+                self._budget_used.labels(slo=objective.name).set(budget_used)
+                self._burn_rate.labels(slo=objective.name).set(burn_rate)
+                if not healthy and not state.breached:
+                    state.breached = True
+                    breaches.append(
+                        SLOBreach(objective, value, budget_used, burn_rate)
+                    )
+                elif healthy:
+                    state.breached = False
+        return breaches
+
+    def state(self) -> Dict[str, Dict[str, float]]:
+        """Per-objective budget state for the health surface."""
+        out: Dict[str, Dict[str, float]] = {}
+        with self._lock:
+            for objective in self.objectives:
+                state = self._states[objective.name]
+                bad = sum(state.window)
+                allowed = objective.budget * objective.window
+                budget_used = bad / allowed if allowed else float(bad > 0)
+                window_len = len(state.window)
+                burn_rate = (
+                    (bad / window_len) / objective.budget if window_len else 0.0
+                )
+                out[objective.name] = {
+                    "healthy": budget_used < 1.0,
+                    "breached": state.breached,
+                    "budget_used": budget_used,
+                    "burn_rate": burn_rate,
+                    "window": window_len,
+                    "threshold": objective.threshold,
+                }
+        return out

@@ -23,19 +23,34 @@ from __future__ import annotations
 import json
 import threading
 import time
+import zlib
 from collections import deque
 from typing import Any, Callable, Dict, List, Optional
 
-__all__ = ["SpanRecord", "Span", "Tracer", "JsonLinesSink"]
+__all__ = ["SpanRecord", "Span", "Tracer", "JsonLinesSink", "mint_trace"]
 
 #: How many completed spans the in-memory ring retains.
 DEFAULT_RING_SIZE = 256
 
 
+def mint_trace(tick: int, next_block: int) -> str:
+    """The deterministic trace id of one monitor tick.
+
+    A pure function of the tick counter and the cursor position, so the
+    id is identical with observability on or off (alerts carry it, and
+    the obs-on/off serving surface must stay byte-identical) -- and so
+    the serving layer can *predict* the next tick's trace id before the
+    tick runs, which is how the block-seen latency mark lands on the
+    right ledger entry.
+    """
+    digest = zlib.crc32(f"{tick}:{next_block}".encode("utf-8"))
+    return f"t{tick:06d}-{digest:08x}"
+
+
 class SpanRecord:
     """One completed span: name, attributes, wall-clock start, duration."""
 
-    __slots__ = ("name", "attrs", "started_at", "duration", "error")
+    __slots__ = ("name", "attrs", "started_at", "duration", "error", "trace")
 
     def __init__(
         self,
@@ -44,12 +59,14 @@ class SpanRecord:
         started_at: float,
         duration: float,
         error: Optional[str] = None,
+        trace: str = "",
     ) -> None:
         self.name = name
         self.attrs = attrs
         self.started_at = started_at
         self.duration = duration
         self.error = error
+        self.trace = trace
 
     def as_dict(self) -> Dict[str, Any]:
         record: Dict[str, Any] = {
@@ -57,6 +74,8 @@ class SpanRecord:
             "ts": self.started_at,
             "duration_s": self.duration,
         }
+        if self.trace:
+            record["trace"] = self.trace
         if self.attrs:
             record["attrs"] = self.attrs
         if self.error is not None:
@@ -70,7 +89,14 @@ class SpanRecord:
 class Span:
     """The live context manager handed out by :meth:`Tracer.span`."""
 
-    __slots__ = ("_tracer", "name", "attrs", "_started_wall", "_started_perf")
+    __slots__ = (
+        "_tracer",
+        "name",
+        "attrs",
+        "_started_wall",
+        "_started_perf",
+        "_trace",
+    )
 
     def __init__(self, tracer: "Tracer", name: str, attrs: Dict[str, Any]) -> None:
         self._tracer = tracer
@@ -78,12 +104,14 @@ class Span:
         self.attrs = attrs
         self._started_wall = 0.0
         self._started_perf = 0.0
+        self._trace = ""
 
     def annotate(self, **attrs: Any) -> None:
         """Attach attributes discovered mid-span (e.g. result counts)."""
         self.attrs.update(attrs)
 
     def __enter__(self) -> "Span":
+        self._trace = self._tracer.current_trace()
         self._started_wall = time.time()
         self._started_perf = time.perf_counter()
         return self
@@ -92,8 +120,35 @@ class Span:
         duration = time.perf_counter() - self._started_perf
         error = None if exc_type is None else exc_type.__name__
         self._tracer.record(
-            SpanRecord(self.name, self.attrs, self._started_wall, duration, error)
+            SpanRecord(
+                self.name,
+                self.attrs,
+                self._started_wall,
+                duration,
+                error,
+                trace=self._trace,
+            )
         )
+        return None
+
+
+class _TraceContext:
+    """Scopes a trace id to the current thread for the ``with`` body."""
+
+    __slots__ = ("_tracer", "_trace", "_previous")
+
+    def __init__(self, tracer: "Tracer", trace: str) -> None:
+        self._tracer = tracer
+        self._trace = trace
+        self._previous = ""
+
+    def __enter__(self) -> str:
+        self._previous = self._tracer.current_trace()
+        self._tracer._set_trace(self._trace)
+        return self._trace
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self._tracer._set_trace(self._previous)
         return None
 
 
@@ -104,6 +159,7 @@ class Tracer:
         self._lock = threading.Lock()
         self._ring: "deque[SpanRecord]" = deque(maxlen=ring_size)
         self._sinks: List[Callable[[SpanRecord], None]] = []
+        self._trace_local = threading.local()
         self._durations = registry.histogram(
             "span_seconds",
             "Wall-clock duration of traced stages.",
@@ -112,6 +168,16 @@ class Tracer:
 
     def span(self, name: str, **attrs: Any) -> Span:
         return Span(self, name, attrs)
+
+    def trace_context(self, trace: str) -> _TraceContext:
+        """Bind ``trace`` as the current thread's trace id for a block."""
+        return _TraceContext(self, trace)
+
+    def current_trace(self) -> str:
+        return getattr(self._trace_local, "trace", "")
+
+    def _set_trace(self, trace: str) -> None:
+        self._trace_local.trace = trace
 
     def add_sink(self, sink: Callable[[SpanRecord], None]) -> None:
         with self._lock:

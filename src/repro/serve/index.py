@@ -257,6 +257,8 @@ class ServeIndex:
             # version can only be *discarded* by the invalidation,
             # never cached stale.
             self.commit_staged(staged)
+            # The tick's alerts are readable from here on.
+            self.registry.latency.mark(snapshot.trace, "publish")
             self.invalidate_staged(staged)
             self.notify_subscribers(staged.version)
 

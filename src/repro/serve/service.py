@@ -97,6 +97,14 @@ class ServeService:
         self._thread: Optional[threading.Thread] = None
         #: The TCP front end, when one was started (see :meth:`serve_wire`).
         self.wire: Optional["WireServer"] = None
+        #: Wall-clock time of the last completed tick (health liveness
+        #: watermark); None until the first tick.
+        self._last_tick_at: Optional[float] = None
+        #: The attached SLO engine, if any (see :meth:`attach_slo`).
+        self.slo_engine = None
+        #: Seconds without a tick before a still-running ingest loop is
+        #: reported as stalled by :meth:`health_snapshot`.
+        self.stall_after = 30.0
 
     @classmethod
     def for_world(
@@ -137,6 +145,73 @@ class ServeService:
             )
         return snapshot
 
+    def health_snapshot(self) -> Dict[str, Any]:
+        """One readiness read: ingest liveness, publish lag, wire
+        pressure, SLO budget state, rolled up into a traffic-light
+        ``status`` -- the payload of the ``health`` wire verb and the
+        contract behind ``python -m repro probe``.
+
+        * ``ok`` -- serving and inside every budget.
+        * ``degraded`` -- serving, but an SLO budget is exhausted, a
+          subscriber queue is near overflow, or background ingest has
+          stalled (no tick for ``stall_after`` seconds).
+        * ``unhealthy`` -- the ingest loop crashed.
+        """
+        now = time.time()
+        head = self.monitor.node.block_number
+        processed = self.monitor.processed_block
+        running = self._thread is not None and not self.done.is_set()
+        crashed = self.ingest_error is not None
+        last_tick_age = (
+            None if self._last_tick_at is None else now - self._last_tick_at
+        )
+        ingest: Dict[str, Any] = {
+            "processed_block": processed,
+            "head_block": head,
+            "lag_blocks": max(head - processed, 0),
+            "ticks": self.monitor.tick_count,
+            "running": running,
+            "done": self.done.is_set(),
+            "crashed": crashed,
+            "last_tick_age_seconds": last_tick_age,
+        }
+        if crashed:
+            ingest["error"] = repr(self.ingest_error)
+        current = self.index.current
+        publish: Dict[str, Any] = {
+            "shards": self.shards,
+            "version": current.version,
+            "published_seq": current.last_seq,
+            "log_seq": self.index.last_seq,
+            "lag_alerts": max(self.index.last_seq - current.last_seq, 0),
+        }
+        health: Dict[str, Any] = {"ingest": ingest, "publish": publish}
+        wire = self.wire
+        if wire is not None:
+            health["wire"] = wire.health_stats()
+        if self.slo_engine is not None:
+            health["slo"] = self.slo_engine.state()
+
+        stalled = (
+            running
+            and last_tick_age is not None
+            and last_tick_age > self.stall_after
+        )
+        budget_blown = any(
+            not state["healthy"] for state in health.get("slo", {}).values()
+        )
+        pressured = (
+            health.get("wire", {}).get("subscriber_queue_pressure", 0.0) >= 0.9
+        )
+        if crashed:
+            status = "unhealthy"
+        elif stalled or budget_blown or pressured:
+            status = "degraded"
+        else:
+            status = "ok"
+        health["status"] = status
+        return health
+
     def cache_stats(self) -> Optional[CacheStats]:
         """Aggregate-cache counters, summed across shards when sharded.
 
@@ -161,10 +236,32 @@ class ServeService:
             total.stale_discards += stats.stale_discards
         return total
 
+    def attach_slo(self, engine) -> None:
+        """Evaluate ``engine`` every tick (see :mod:`repro.obs.slo`);
+        breaches surface as SLO_BREACH alerts on the monitor's stream
+        and as budget state in :meth:`health_snapshot`."""
+        self.slo_engine = engine
+        self.monitor.attach_slo(engine)
+
+    def _mark_block_seen(self) -> None:
+        """Open the latency ledger entry for the *upcoming* tick.
+
+        Trace ids are deterministic (see ``StreamingMonitor.predict_trace``),
+        so the driving loop can timestamp "block seen" before the tick
+        runs.  Gated on an enabled registry: the bare path pays nothing.
+        """
+        if self.registry.enabled:
+            self.registry.latency.mark(self.monitor.predict_trace(), "block_seen")
+
+    def _note_tick(self) -> None:
+        self._last_tick_at = time.time()
+
     # -- inline driving ----------------------------------------------------
     def advance(self, to_block: Optional[int] = None) -> ServeVersion:
         """One monitor tick; returns the version it published."""
+        self._mark_block_seen()
         self.monitor.advance(to_block)
+        self._note_tick()
         return self.index.current
 
     def run(
@@ -205,16 +302,20 @@ class ServeService:
                     upper = min(
                         self.monitor.cursor.next_block + step_blocks - 1, target
                     )
+                    self._mark_block_seen()
                     started = time.perf_counter()
                     self.monitor.advance(upper)
                     self.tick_latency.observe(time.perf_counter() - started)
+                    self._note_tick()
                     ticked = True
                     if tick_delay:
                         time.sleep(tick_delay)
                 if not ticked and not self._stop.is_set():
+                    self._mark_block_seen()
                     started = time.perf_counter()
                     self.monitor.advance(to_block)
                     self.tick_latency.observe(time.perf_counter() - started)
+                    self._note_tick()
             except BaseException as error:  # noqa: BLE001 - re-raised by join
                 self.ingest_error = error
             finally:
@@ -266,6 +367,7 @@ class ServeService:
 
         server_kwargs.setdefault("registry", self.registry)
         server_kwargs.setdefault("metrics_snapshot", self.metrics_snapshot)
+        server_kwargs.setdefault("health_snapshot", self.health_snapshot)
         self.wire = WireServer(self.query, host, port, **server_kwargs).start()
         return self.wire
 

@@ -425,6 +425,8 @@ class ShardedServeIndex:
                     merged_scopes.update(stage.scopes)
                 self.router_cache.invalidate(merged_scopes)
             self.publish_seq += 1
+            # The tick's alerts are globally readable from here on.
+            self.registry.latency.mark(snapshot.trace, "publish")
         self._metric_alert_log.set(len(self.alert_log))
         for callback in self._version_subscribers:
             try:

@@ -67,6 +67,9 @@ class WireClient:
         self._next_id = 0
         self._streaming = False
         self._lock = threading.Lock()
+        #: The ``trace`` echoed on the most recent response (None when
+        #: the request carried no trace id).
+        self.last_trace: Optional[str] = None
 
     # -- lifecycle ---------------------------------------------------------
     def connect(self) -> "WireClient":
@@ -109,8 +112,15 @@ class WireClient:
         return self._sock is not None
 
     # -- request/response --------------------------------------------------
-    def request(self, verb: str, **params: Any) -> Any:
-        """One synchronous round trip; returns the ``result`` payload."""
+    def request(
+        self, verb: str, trace_id: Optional[str] = None, **params: Any
+    ) -> Any:
+        """One synchronous round trip; returns the ``result`` payload.
+
+        ``trace_id`` rides the request frame's top-level ``trace`` field
+        (not a verb parameter); the server echoes it on the response and
+        :attr:`last_trace` captures the echo.
+        """
         if self._sock is None:
             self.connect()
         if self._streaming:
@@ -128,8 +138,11 @@ class WireClient:
                     key: value for key, value in params.items() if value is not None
                 },
             }
+            if trace_id:
+                payload["trace"] = trace_id
             write_frame(self._wfile, payload)
             response = read_frame(self._rfile, self.max_frame_bytes)
+            self.last_trace = response.get("trace")
         if response.get("ok"):
             return response.get("result")
         error = response.get("error") or {}
@@ -195,6 +208,14 @@ class WireClient:
 
     def stats(self) -> Dict[str, int]:
         return self.request("stats")
+
+    def health(self) -> Dict[str, Any]:
+        """The node's readiness snapshot (the ``health`` verb)."""
+        return self.request("health")
+
+    def trace_lookup(self, trace: str) -> Dict[str, Any]:
+        """Spans, alert seqs and latency marks recorded for a trace id."""
+        return self.request("trace", trace=trace)
 
     # -- streaming ---------------------------------------------------------
     def subscribe(self, since_seq: int = -1) -> "AlertStream":

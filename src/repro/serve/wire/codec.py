@@ -316,6 +316,10 @@ def encode_alert(alert: Alert) -> Dict[str, Any]:
         "reorg_depth": alert.reorg_depth,
         "fork_block": alert.fork_block,
         "seq": alert.seq,
+        "trace": alert.trace,
+        "slo": alert.slo,
+        "budget_used": alert.budget_used,
+        "detail": alert.detail,
     }
 
 
@@ -332,4 +336,9 @@ def decode_alert(data: Dict[str, Any]) -> Alert:
         reorg_depth=data["reorg_depth"],
         fork_block=data["fork_block"],
         seq=data["seq"],
+        # .get with defaults: tolerate frames from a pre-trace peer.
+        trace=data.get("trace", ""),
+        slo=data.get("slo", ""),
+        budget_used=data.get("budget_used", 0.0),
+        detail=data.get("detail", ""),
     )

@@ -171,6 +171,12 @@ class WireConnectionHandler(socketserver.StreamRequestHandler):
         request_id = request.get("id")
         if request_id is not None and not isinstance(request_id, (int, str)):
             request_id = None
+        # A client-injected trace id is echoed verbatim on the response
+        # frame (success or error) so a caller can correlate requests
+        # across its own systems; absent in, absent out.
+        trace = request.get("trace")
+        if not isinstance(trace, str) or not trace:
+            trace = None
         # Known verbs are labeled verbatim; everything else is clamped
         # to "unknown" so a fuzzing peer cannot mint unbounded label
         # cardinality in the per-verb metric families.
@@ -185,17 +191,23 @@ class WireConnectionHandler(socketserver.StreamRequestHandler):
                 result = self._dispatch(request)
             except RequestError as error:
                 self.server._count("request_errors")
-                return self._send_error(request_id, error.code, error.message)
+                return self._send_error(
+                    request_id, error.code, error.message, trace=trace
+                )
             except Exception as error:  # noqa: BLE001 - a handler bug must
                 # surface as a typed response on this connection, not as a
                 # dead server thread.
                 self.server._count("internal_errors")
                 return self._send_error(
-                    request_id, "internal-error", f"{type(error).__name__}: {error}"
+                    request_id,
+                    "internal-error",
+                    f"{type(error).__name__}: {error}",
+                    trace=trace,
                 )
-            sent = self._send(
-                {"id": request_id, "ok": True, "result": result}
-            )
+            payload = {"id": request_id, "ok": True, "result": result}
+            if trace is not None:
+                payload["trace"] = trace
+            sent = self._send(payload)
             # A subscribe verb flips the connection into streaming mode
             # only after its acknowledgement is on the wire, so the ok
             # response always precedes the first pushed event.
@@ -217,14 +229,17 @@ class WireConnectionHandler(socketserver.StreamRequestHandler):
         except (OSError, ValueError):
             return False
 
-    def _send_error(self, request_id, code: str, message: str) -> bool:
-        return self._send(
-            {
-                "id": request_id,
-                "ok": False,
-                "error": {"code": code, "message": message},
-            }
-        )
+    def _send_error(
+        self, request_id, code: str, message: str, trace: Optional[str] = None
+    ) -> bool:
+        payload: Dict[str, Any] = {
+            "id": request_id,
+            "ok": False,
+            "error": {"code": code, "message": message},
+        }
+        if trace is not None:
+            payload["trace"] = trace
+        return self._send(payload)
 
     # -- dispatch ----------------------------------------------------------
     def _dispatch(self, request: Dict[str, Any]):
@@ -412,6 +427,44 @@ class WireConnectionHandler(socketserver.StreamRequestHandler):
         stats["metrics"] = self.server.metrics_snapshot()
         return stats
 
+    def _verb_health(self, params: Dict[str, Any]):
+        # The owning ServeService supplies the full readiness picture
+        # (ingest liveness, publish lag, SLO budgets); a bare wire
+        # server still answers with its own socket-layer view so the
+        # probe CLI works against any node.
+        provider = self.server.health_snapshot
+        if provider is not None:
+            return provider()
+        return {"status": "ok", "wire": self.server.health_stats()}
+
+    def _verb_trace(self, params: Dict[str, Any]):
+        """Everything the node remembers about one trace id: the tick's
+        spans (from the span ring) and the alert seqs it published."""
+        trace = _require(params, "trace", str, "string")
+        spans = [
+            record.as_dict()
+            for record in self.server.registry.recent_spans()
+            if record.trace == trace
+        ]
+        # Alerts sharing a trace are one tick's contiguous block of the
+        # append-only log, so a reverse scan can stop at the first
+        # non-matching alert after the block.
+        alert_seqs: List[int] = []
+        log = self.server.index.alerts_since(-1)
+        for alert in reversed(log):
+            if alert.trace == trace:
+                alert_seqs.append(alert.seq)
+            elif alert_seqs:
+                break
+        alert_seqs.reverse()
+        return {
+            "trace": trace,
+            "spans": spans,
+            "alert_seqs": alert_seqs,
+            "found": bool(spans or alert_seqs),
+            "marks": dict(self.server.registry.latency.marks(trace)),
+        }
+
     def _verb_subscribe(self, params: Dict[str, Any]):
         if self._subscriber is not None:
             raise RequestError(
@@ -460,6 +513,8 @@ class WireConnectionHandler(socketserver.StreamRequestHandler):
         "funnel_stats": _verb_funnel_stats,
         "alerts": _verb_alerts,
         "stats": _verb_stats,
+        "health": _verb_health,
+        "trace": _verb_trace,
         "subscribe": _verb_subscribe,
         "unsubscribe": _verb_unsubscribe,
     }
@@ -489,9 +544,7 @@ class WireConnectionHandler(socketserver.StreamRequestHandler):
                 if not batch:
                     break
                 for alert in batch:
-                    if not self._send_event(
-                        {"event": "alert", "alert": codec.encode_alert(alert)}
-                    ):
+                    if not self._push_alert_frame(alert):
                         return
                     subscriber.position = alert.seq
             # Phase 2: live queue.
@@ -504,9 +557,7 @@ class WireConnectionHandler(socketserver.StreamRequestHandler):
                     continue
                 if alert is None or alert.seq <= subscriber.position:
                     continue
-                if not self._send_event(
-                    {"event": "alert", "alert": codec.encode_alert(alert)}
-                ):
+                if not self._push_alert_frame(alert):
                     return
                 subscriber.position = alert.seq
             if subscriber.overflowed and not subscriber.stopping.is_set():
@@ -532,6 +583,22 @@ class WireConnectionHandler(socketserver.StreamRequestHandler):
 
     def _send_event(self, payload: Dict[str, Any]) -> bool:
         return self._send(payload)
+
+    def _push_alert_frame(self, alert) -> bool:
+        """Write one alert event; server-stamps the tick's trace id on
+        the frame and closes the latency ledger after the write."""
+        payload: Dict[str, Any] = {
+            "event": "alert",
+            "alert": codec.encode_alert(alert),
+        }
+        if alert.trace:
+            payload["trace"] = alert.trace
+        if not self._send_event(payload):
+            return False
+        # The end of the measured pipeline: the frame reached the
+        # subscriber's socket.  Re-observes deliver/total per frame.
+        self.server.registry.latency.mark(alert.trace, "socket_write")
+        return True
 
     def _teardown_subscription(self) -> None:
         subscriber = self._subscriber
@@ -570,6 +637,7 @@ class WireServer(socketserver.ThreadingTCPServer):
         max_pins: int = DEFAULT_MAX_PINS,
         registry: Optional[MetricsRegistry] = None,
         metrics_snapshot: Optional[Callable[[], Dict[str, Any]]] = None,
+        health_snapshot: Optional[Callable[[], Dict[str, Any]]] = None,
     ) -> None:
         self.query = query
         self.index = query.index
@@ -582,6 +650,11 @@ class WireServer(socketserver.ThreadingTCPServer):
         #: ServeService passes its own so wire clients see every layer,
         #: not just the wire's instruments.
         self._metrics_snapshot = metrics_snapshot or self.registry.snapshot
+        #: Readiness hook for the ``health`` verb; the owning
+        #: ServeService passes :meth:`ServeService.health_snapshot`.
+        #: None on a bare server -- the verb then answers from
+        #: :meth:`health_stats` alone.
+        self.health_snapshot = health_snapshot
         self.metric_requests = self.registry.counter(
             "wire_requests_total", "Wire requests dispatched, labeled by verb.",
             labels=("verb",),
@@ -672,6 +745,34 @@ class WireServer(socketserver.ThreadingTCPServer):
             snapshot["active_subscribers"] = len(self._subscribers)
         return snapshot
 
+    def subscriber_queue_pressure(self) -> float:
+        """Worst-case fullness of any live subscriber queue (0..1).
+
+        The health surface's early-warning signal: a subscriber at 1.0
+        is about to be overflowed and disconnected.
+        """
+        with self._lock:
+            subscribers = list(self._subscribers)
+        pressure = 0.0
+        for subscriber in subscribers:
+            size = subscriber.queue.maxsize or 1
+            pressure = max(pressure, subscriber.queue.qsize() / size)
+        return pressure
+
+    def health_stats(self) -> Dict[str, Any]:
+        """The wire slice of the health surface."""
+        stats = self.stats()
+        return {
+            "active_connections": stats["active_connections"],
+            "active_subscribers": stats["active_subscribers"],
+            "requests": stats["requests"],
+            "request_errors": stats["request_errors"],
+            "internal_errors": stats["internal_errors"],
+            "frame_errors": stats["frame_errors"],
+            "overflows": stats["overflows"],
+            "subscriber_queue_pressure": self.subscriber_queue_pressure(),
+        }
+
     def _collect_metrics(self) -> Dict[str, Dict[str, float]]:
         """Registry collector: the socket-layer counters and live levels.
 
@@ -745,6 +846,12 @@ class WireServer(socketserver.ThreadingTCPServer):
         if not batch:
             return
         self._fanout_position = batch[-1].seq
+        ledger = self.registry.latency
+        marked: set = set()
+        for alert in batch:
+            if alert.trace and alert.trace not in marked:
+                marked.add(alert.trace)
+                ledger.mark(alert.trace, "fanout_enqueue")
         with self._lock:
             subscribers = list(self._subscribers)
         for subscriber in subscribers:

@@ -75,6 +75,10 @@ class AlertKind(str, enum.Enum):
     #: A previously confirmed activity no longer holds (its transfers
     #: were reorged away, or its component dissolved) and is withdrawn.
     ACTIVITY_RETRACTED = "activity-retracted"
+    #: Operator event: a service-level objective exhausted its error
+    #: budget (see :mod:`repro.obs.slo`).  Not a detection -- carried on
+    #: the same bus so venues and operators share one delivery channel.
+    SLO_BREACH = "slo-breach"
 
 
 @dataclass(frozen=True)
@@ -105,6 +109,17 @@ class Alert:
     #: this alert's index in ``monitor.alerts``.  The replay cursor key
     #: of the serving layer (-1 only for alerts built outside a monitor).
     seq: int = -1
+    #: Trace id of the monitor tick that raised the alert ("" for alerts
+    #: built outside a monitor).  Deterministic per tick -- links the
+    #: alert to the tick's ingest spans and latency-ledger marks.
+    trace: str = ""
+    #: Name of the breached objective (SLO_BREACH only).
+    slo: str = ""
+    #: Error-budget consumption at breach time, 1.0 = exhausted
+    #: (SLO_BREACH only).
+    budget_used: float = 0.0
+    #: Human-readable operator detail (SLO_BREACH only).
+    detail: str = ""
 
     @property
     def accounts(self) -> FrozenSet[str]:
@@ -167,6 +182,10 @@ class MonitorSnapshot:
     #: dirty_token_count``; the serving layer keys its aggregate-cache
     #: invalidation on this set.
     dirty_nfts: Tuple[NFTKey, ...] = field(default_factory=tuple)
+    #: The tick's deterministic trace id -- shared by every alert the
+    #: tick raised and by the tick's spans ("" for snapshots built
+    #: outside a monitor).
+    trace: str = ""
 
     @property
     def is_empty(self) -> bool:

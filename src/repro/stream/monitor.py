@@ -30,6 +30,7 @@ from repro.core.detectors.pipeline import PipelineResult
 from repro.engine.executor import TransactionView
 from repro.obs.bounded import DEFAULT_ERROR_RETENTION, BoundedLog
 from repro.obs.registry import NULL_REGISTRY, MetricsRegistry
+from repro.obs.tracing import mint_trace
 from repro.stream.alerts import Alert, AlertKind, MonitorSnapshot
 from repro.stream.cursor import DEFAULT_MAX_REORG_DEPTH, CursorTick, DatasetCursor
 from repro.stream.scheduler import DirtyTokenScheduler, TickReport
@@ -115,6 +116,12 @@ class StreamingMonitor:
         self._on_subscriber_error = on_subscriber_error
         self._alert_subscribers: List[AlertCallback] = []
         self._snapshot_subscribers: List[SnapshotCallback] = []
+        #: Trace id of the most recent tick ("" before the first).
+        self.current_trace = ""
+        #: Operator alerts queued for the next tick's stream position
+        #: (kind, slo, budget_used, detail) -- see publish_operator_alert.
+        self._pending_operator: List[tuple] = []
+        self._slo_engine = None
 
         self._metric_ticks = self.registry.counter(
             "monitor_ticks_total", "Completed monitor ticks."
@@ -178,6 +185,36 @@ class StreamingMonitor:
         """Sequence number the next published alert will carry."""
         return len(self.alerts)
 
+    def predict_trace(self) -> str:
+        """The trace id the *next* tick will mint.
+
+        Trace ids are a pure function of (tick counter, cursor
+        position), so a driving loop can compute the id before calling
+        :meth:`advance` -- that is how the block-seen latency mark lands
+        on the right ledger entry.
+        """
+        return mint_trace(self.tick_count + 1, self.cursor.next_block)
+
+    def attach_slo(self, engine) -> None:
+        """Evaluate ``engine`` (see :mod:`repro.obs.slo`) every tick;
+        breaches become SLO_BREACH operator alerts on the stream."""
+        self._slo_engine = engine
+
+    def publish_operator_alert(
+        self,
+        kind: AlertKind,
+        slo: str = "",
+        budget_used: float = 0.0,
+        detail: str = "",
+    ) -> None:
+        """Queue an operator event for the current/next tick's stream.
+
+        Operator alerts ride the ordinary append-only alert bus (gapless
+        seqs, replayable over the wire) but are appended *after* the
+        tick's detection alerts, so detection ordering is untouched.
+        """
+        self._pending_operator.append((kind, slo, budget_used, detail))
+
     @property
     def flagged_nfts(self):
         """NFTs currently carrying at least one confirmed activity."""
@@ -205,23 +242,60 @@ class StreamingMonitor:
         activities before the canonical branch's confirmations are
         diffed in.
         """
-        with self.registry.span("tick") as tick_span:
-            tick = self.cursor.advance(to_block)
-            dirty: List = list(tick.rolled_back_nfts)
-            rolled_back = set(tick.rolled_back_nfts)
-            dirty.extend(nft for nft in tick.touched_nfts if nft not in rolled_back)
-            if tick.touched_accounts:
-                covered = rolled_back | set(tick.touched_nfts)
-                extra = self.cursor.tokens_touching(tick.touched_accounts) - covered
-                dirty.extend(sorted(extra, key=self.scheduler.order_of))
-            report = self.scheduler.process(dirty, self.context)
+        # The trace id is minted unconditionally and deterministically
+        # (registry-independent): alerts carry it, and the obs-on/off
+        # serving surface must stay byte-identical.
+        trace = mint_trace(self.tick_count + 1, self.cursor.next_block)
+        self.current_trace = trace
+        self.registry.latency.mark(trace, "tick_start")
+        with self.registry.trace_context(trace):
+            with self.registry.span("tick") as tick_span:
+                tick = self.cursor.advance(to_block)
+                dirty: List = list(tick.rolled_back_nfts)
+                rolled_back = set(tick.rolled_back_nfts)
+                dirty.extend(
+                    nft for nft in tick.touched_nfts if nft not in rolled_back
+                )
+                if tick.touched_accounts:
+                    covered = rolled_back | set(tick.touched_nfts)
+                    extra = (
+                        self.cursor.tokens_touching(tick.touched_accounts) - covered
+                    )
+                    dirty.extend(sorted(extra, key=self.scheduler.order_of))
+                report = self.scheduler.process(dirty, self.context)
 
-            self.tick_count += 1
-            alerts = self._alerts_for(tick, report)
-            tick_span.annotate(
-                dirty=report.dirty_token_count, alerts=len(alerts)
-            )
-        snapshot = MonitorSnapshot(
+                self.tick_count += 1
+                alerts = self._alerts_for(tick, report, trace)
+                if self._slo_engine is not None:
+                    for breach in self._evaluate_slo():
+                        self.publish_operator_alert(
+                            AlertKind.SLO_BREACH,
+                            slo=breach.objective.name,
+                            budget_used=breach.budget_used,
+                            detail=breach.detail,
+                        )
+                if self._pending_operator:
+                    alerts.extend(
+                        self._operator_alerts(trace, len(self.alerts) + len(alerts))
+                    )
+                tick_span.annotate(
+                    dirty=report.dirty_token_count, alerts=len(alerts)
+                )
+            snapshot = self._snapshot_for(tick, report, alerts, trace)
+            self.alerts.extend(alerts)
+            self._metric_ticks.inc()
+            for alert in alerts:
+                self._metric_alerts.labels(kind=alert.kind.value).inc()
+            with self.registry.span("fanout", alerts=len(alerts)):
+                for alert in alerts:
+                    for callback in self._alert_subscribers:
+                        self._deliver(callback, alert)
+                for callback in self._snapshot_subscribers:
+                    self._deliver(callback, snapshot)
+        return snapshot
+
+    def _snapshot_for(self, tick, report, alerts, trace) -> MonitorSnapshot:
+        return MonitorSnapshot(
             tick=self.tick_count,
             from_block=tick.from_block,
             to_block=tick.to_block,
@@ -238,18 +312,42 @@ class StreamingMonitor:
             rolled_back_transfer_count=tick.rolled_back_transfer_count,
             alerts=tuple(alerts),
             dirty_nfts=report.dirty_nfts,
+            trace=trace,
         )
-        self.alerts.extend(alerts)
-        self._metric_ticks.inc()
-        for alert in alerts:
-            self._metric_alerts.labels(kind=alert.kind.value).inc()
-        with self.registry.span("fanout", alerts=len(alerts)):
-            for alert in alerts:
-                for callback in self._alert_subscribers:
-                    self._deliver(callback, alert)
-            for callback in self._snapshot_subscribers:
-                self._deliver(callback, snapshot)
-        return snapshot
+
+    def _evaluate_slo(self):
+        """Run the attached SLO engine; a raising engine cannot fail a
+        tick (operator tooling must never abort detection)."""
+        try:
+            return self._slo_engine.evaluate()
+        except Exception:  # noqa: BLE001 -- isolation is the point
+            return []
+
+    def _operator_alerts(self, trace: str, base_seq: int) -> List[Alert]:
+        """Drain queued operator alerts onto the stream at ``base_seq``.
+
+        Separate from _alerts_for on purpose: a quiet tick (no
+        confirmations, retractions or reorg) still publishes its pending
+        operator events.
+        """
+        block = min(self.cursor.processed_block, self.node.block_number)
+        timestamp = self.node.get_block(block).timestamp if block >= 0 else 0
+        alerts: List[Alert] = []
+        for kind, slo, budget_used, detail in self._pending_operator:
+            alerts.append(
+                Alert(
+                    kind=kind,
+                    block=block,
+                    timestamp=timestamp,
+                    seq=base_seq + len(alerts),
+                    trace=trace,
+                    slo=slo,
+                    budget_used=budget_used,
+                    detail=detail,
+                )
+            )
+        self._pending_operator.clear()
+        return alerts
 
     def _deliver(self, callback, event) -> None:
         """Deliver one event to one subscriber, isolating failures.
@@ -306,7 +404,9 @@ class StreamingMonitor:
         return snapshots
 
     # -- internals ---------------------------------------------------------
-    def _alerts_for(self, tick: CursorTick, report: TickReport) -> List[Alert]:
+    def _alerts_for(
+        self, tick: CursorTick, report: TickReport, trace: str = ""
+    ) -> List[Alert]:
         """Turn one tick's state diff into the published alert stream.
 
         Order within a tick: the REORG_DETECTED marker first (so
@@ -335,6 +435,7 @@ class StreamingMonitor:
                     reorg_depth=tick.reorg_depth,
                     fork_block=tick.fork_block,
                     seq=base_seq + len(alerts),
+                    trace=trace,
                 )
             )
         for activity in report.retracted:
@@ -346,6 +447,7 @@ class StreamingMonitor:
                     nft=activity.nft,
                     activity=activity,
                     seq=base_seq + len(alerts),
+                    trace=trace,
                 )
             )
         newly_flagged = set(report.newly_flagged)
@@ -359,6 +461,7 @@ class StreamingMonitor:
                     nft=activity.nft,
                     activity=activity,
                     seq=base_seq + len(alerts),
+                    trace=trace,
                 )
             )
             if activity.nft in newly_flagged and activity.nft not in flag_raised:
@@ -371,6 +474,7 @@ class StreamingMonitor:
                         nft=activity.nft,
                         activity=activity,
                         seq=base_seq + len(alerts),
+                        trace=trace,
                     )
                 )
             watched = frozenset(activity.accounts & self.watchlist)
@@ -384,6 +488,7 @@ class StreamingMonitor:
                         activity=activity,
                         watched_accounts=watched,
                         seq=base_seq + len(alerts),
+                        trace=trace,
                     )
                 )
         return alerts

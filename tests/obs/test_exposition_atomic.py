@@ -1,0 +1,161 @@
+"""Atomic metrics exposition and the reporter's final-flush contract.
+
+The ISSUE 9 satellites: ``--metrics-out`` rewrites must be atomic (a
+scraper, or a writer killed mid-write, can never observe a torn file),
+and :class:`PeriodicReporter` must run its final flush exactly once no
+matter how many racing stop() calls land -- a SIGINT handler and a
+finally block both calling stop() used to double-report.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+from repro.obs import (
+    MetricsRegistry,
+    PeriodicReporter,
+    parse_prometheus,
+    write_prometheus,
+)
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), "..", "..", "src")
+
+#: A child that rewrites the exposition file as fast as it can -- the
+#: victim for the kill-mid-write battery.
+_WRITER_PROGRAM = """
+import sys
+from repro.obs import MetricsRegistry, write_prometheus
+
+registry = MetricsRegistry()
+for index in range(300):
+    registry.counter(f"churn_{index}_total", "kill-test filler").inc(index)
+    registry.gauge(f"level_{index}", "kill-test filler").set(index * 0.5)
+path = sys.argv[1]
+write_prometheus(registry, path)
+print("ready", flush=True)
+while True:
+    write_prometheus(registry, path)
+"""
+
+
+class TestAtomicExposition:
+    def test_write_replaces_not_truncates(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("events_total", "events").inc(3)
+        path = tmp_path / "metrics.prom"
+        write_prometheus(registry, str(path))
+        first = path.read_text()
+        assert parse_prometheus(first)["events_total"] == 3.0
+        registry.counter("events_total", "events").inc()
+        write_prometheus(registry, str(path))
+        assert parse_prometheus(path.read_text())["events_total"] == 4.0
+        # No stale tmp file left behind.
+        assert not (tmp_path / "metrics.prom.tmp").exists()
+
+    def test_killed_mid_write_never_tears_the_file(self, tmp_path):
+        """SIGKILL the writer at arbitrary points; the exposition at the
+        published path must always parse completely."""
+        path = tmp_path / "metrics.prom"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.abspath(REPO_SRC) + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        for round_index in range(4):
+            proc = subprocess.Popen(
+                [sys.executable, "-c", _WRITER_PROGRAM, str(path)],
+                stdout=subprocess.PIPE,
+                text=True,
+                env=env,
+            )
+            try:
+                assert proc.stdout.readline().strip() == "ready"
+                time.sleep(0.02 * round_index)
+                proc.send_signal(signal.SIGKILL)
+            finally:
+                proc.wait(timeout=30)
+            samples = parse_prometheus(path.read_text())
+            # Complete: every family made it, none truncated halfway.
+            assert samples["churn_0_total"] == 0.0
+            assert samples["churn_299_total"] == 299.0
+            assert samples["level_299"] == 149.5
+
+
+class TestReporterFinalFlush:
+    def test_concurrent_stops_flush_exactly_once(self, tmp_path):
+        """Eight racing stop() calls (the SIGINT-vs-finally shape) must
+        produce exactly one final report."""
+        registry = MetricsRegistry()
+        registry.counter("events_total", "events").inc()
+        emitted = []
+        path = tmp_path / "metrics.prom"
+        # A huge interval: the timer never fires, so every line seen is
+        # a final flush.
+        reporter = PeriodicReporter(
+            registry, interval=3600.0, emit=emitted.append,
+            metrics_out=str(path),
+        ).start()
+        barrier = threading.Barrier(8)
+
+        def racer():
+            barrier.wait()
+            reporter.stop(final_report=True)
+
+        threads = [threading.Thread(target=racer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(emitted) == 1
+        assert parse_prometheus(path.read_text())["events_total"] == 1.0
+        # Later stops (idempotent shutdown paths) stay silent.
+        reporter.stop(final_report=True)
+        assert len(emitted) == 1
+
+    def test_stop_without_final_report_skips_the_flush(self):
+        emitted = []
+        reporter = PeriodicReporter(
+            MetricsRegistry(), interval=3600.0, emit=emitted.append
+        ).start()
+        reporter.stop(final_report=False)
+        assert emitted == []
+        # The latch is armed only by a final-report stop: a later one
+        # still gets its single flush.
+        reporter.stop(final_report=True)
+        assert len(emitted) == 1
+
+    def test_mid_fire_stop_waits_out_the_inflight_report(self):
+        """stop() during a slow in-flight periodic report neither kills
+        it nor double-reports."""
+        fired = threading.Event()
+        release = threading.Event()
+        emitted = []
+
+        def slow_emit(line):
+            emitted.append(line)
+            fired.set()
+            release.wait(timeout=10.0)
+
+        reporter = PeriodicReporter(
+            MetricsRegistry(), interval=0.01, emit=slow_emit
+        ).start()
+        assert fired.wait(timeout=10.0)
+        stopper = threading.Thread(
+            target=reporter.stop, kwargs={"final_report": True}
+        )
+        stopper.start()
+        release.set()
+        stopper.join(timeout=10.0)
+        assert not stopper.is_alive()
+        # The in-flight periodic report plus exactly one final flush;
+        # the 10ms timer may squeeze in extra periodic lines before the
+        # stop flag lands, so assert the flush happened and the
+        # reporter is quiescent rather than an exact count.
+        settled = len(emitted)
+        assert settled >= 2
+        time.sleep(0.1)
+        assert len(emitted) == settled

@@ -1,0 +1,297 @@
+"""The ingest-to-alert latency ledger and the SLO engine.
+
+Unit batteries for ISSUE 9's latency/SLO layers: the ledger's
+stage-edge accounting (first-wins marks, terminal re-observation,
+opening-mark restriction, bounded retention) and the engine's rolling
+windows, error budgets, edge-triggered breaches and gauge surface --
+plus the end-to-end forced breach through a real monitor, asserting
+the typed SLO_BREACH alert rides the ordinary alert bus.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.latency import MARKS, STAGES, AlertLatencyLedger
+from repro.obs.slo import (
+    SLOEngine,
+    SLOObjective,
+    latency_objective,
+    wire_error_objective,
+)
+
+
+def stage_counts(registry):
+    histograms = registry.snapshot()["histograms"]
+    return {
+        stage: histograms.get(f'alert_latency_seconds{{stage="{stage}"}}', {}).get(
+            "count", 0
+        )
+        for stage in STAGES
+    }
+
+
+class TestLatencyLedger:
+    def test_full_path_observes_every_stage(self):
+        registry = MetricsRegistry()
+        ledger = AlertLatencyLedger(registry)
+        times = {mark: float(index) for index, mark in enumerate(MARKS)}
+        for mark in MARKS:
+            ledger.mark("t000001-abc", mark, at=times[mark])
+        histograms = registry.snapshot()["histograms"]
+        for stage in STAGES:
+            stats = histograms[f'alert_latency_seconds{{stage="{stage}"}}']
+            assert stats["count"] == 1, stage
+        # total spans block_seen..socket_write = 4 mark intervals.
+        total = histograms['alert_latency_seconds{stage="total"}']
+        assert total["sum"] == pytest.approx(4.0)
+        schedule = histograms['alert_latency_seconds{stage="schedule"}']
+        assert schedule["sum"] == pytest.approx(1.0)
+
+    def test_stage_children_precreated_for_expositions(self):
+        registry = MetricsRegistry()
+        AlertLatencyLedger(registry)
+        assert stage_counts(registry) == {stage: 0 for stage in STAGES}
+
+    def test_non_terminal_marks_are_first_wins(self):
+        registry = MetricsRegistry()
+        ledger = AlertLatencyLedger(registry)
+        ledger.mark("t", "block_seen", at=0.0)
+        ledger.mark("t", "tick_start", at=1.0)
+        ledger.mark("t", "tick_start", at=50.0)  # must not re-observe
+        assert stage_counts(registry)["schedule"] == 1
+        assert ledger.marks("t")["tick_start"] == 1.0
+
+    def test_socket_write_reobserves_per_frame(self):
+        """One delivery observation per alert frame per subscriber."""
+        registry = MetricsRegistry()
+        ledger = AlertLatencyLedger(registry)
+        ledger.mark("t", "block_seen", at=0.0)
+        ledger.mark("t", "fanout_enqueue", at=1.0)
+        ledger.mark("t", "socket_write", at=2.0)
+        ledger.mark("t", "socket_write", at=3.0)
+        ledger.mark("t", "socket_write", at=4.0)
+        counts = stage_counts(registry)
+        assert counts["deliver"] == 3
+        assert counts["total"] == 3
+        # The stored timestamp stays the first one.
+        assert ledger.marks("t")["socket_write"] == 2.0
+
+    def test_late_marks_for_unknown_traces_are_dropped(self):
+        """A subscriber replaying ancient alerts must not open entries."""
+        registry = MetricsRegistry()
+        ledger = AlertLatencyLedger(registry)
+        ledger.mark("ancient", "publish")
+        ledger.mark("ancient", "fanout_enqueue")
+        ledger.mark("ancient", "socket_write")
+        assert ledger.pending() == 0
+        assert sum(stage_counts(registry).values()) == 0
+
+    def test_monitor_only_run_lands_no_stage(self):
+        registry = MetricsRegistry()
+        ledger = AlertLatencyLedger(registry)
+        ledger.mark("t", "tick_start")
+        assert sum(stage_counts(registry).values()) == 0
+        assert ledger.pending() == 1
+
+    def test_bounded_retention_evicts_oldest(self):
+        registry = MetricsRegistry()
+        ledger = AlertLatencyLedger(registry, capacity=3)
+        for index in range(6):
+            ledger.mark(f"t{index}", "tick_start", at=float(index))
+        assert ledger.pending() == 3
+        assert ledger.marks("t0") == {}
+        assert ledger.marks("t5") == {"tick_start": 5.0}
+
+    def test_empty_trace_and_unknown_mark_are_ignored(self):
+        registry = MetricsRegistry()
+        ledger = AlertLatencyLedger(registry)
+        ledger.mark("", "tick_start")
+        ledger.mark("t", "not-a-mark")
+        assert ledger.pending() == 0
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            AlertLatencyLedger(MetricsRegistry(), capacity=0)
+
+    def test_null_registry_ledger_is_inert(self):
+        from repro.obs import NULL_REGISTRY
+
+        ledger = NULL_REGISTRY.latency
+        ledger.mark("t", "tick_start")
+        assert ledger.marks("t") == {}
+        assert ledger.pending() == 0
+
+
+class TestObjectives:
+    def test_latency_objective_defaults(self):
+        objective = latency_objective(0.25)
+        assert objective.name == "alert-latency-total-p95"
+        assert objective.kind == "latency"
+        assert objective.stage == "total"
+        assert objective.threshold == 0.25
+
+    def test_wire_error_objective_defaults(self):
+        objective = wire_error_objective(0.01)
+        assert objective.name == "wire-error-rate"
+        assert objective.kind == "error_rate"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLOObjective(name="x", description="", kind="vibes", threshold=1.0)
+        with pytest.raises(ValueError):
+            latency_objective(0.1, window=0)
+        with pytest.raises(ValueError):
+            latency_objective(0.1, budget=0.0)
+        with pytest.raises(ValueError):
+            latency_objective(0.1, quantile=1.5)
+        with pytest.raises(ValueError):
+            SLOEngine(
+                MetricsRegistry(),
+                [latency_objective(0.1), latency_objective(0.2)],
+            )
+
+
+class TestSLOEngine:
+    def _latency_engine(self, threshold, window=4, budget=0.25, stage="detect"):
+        registry = MetricsRegistry()
+        ledger = AlertLatencyLedger(registry)
+        engine = SLOEngine(
+            registry,
+            [
+                latency_objective(
+                    threshold, stage=stage, window=window, budget=budget
+                )
+            ],
+        )
+        return registry, ledger, engine
+
+    def test_no_data_means_no_evaluation(self):
+        registry, _, engine = self._latency_engine(0.1)
+        assert engine.evaluate() == []
+        state = engine.state()["alert-latency-detect-p95"]
+        assert state["window"] == 0
+        assert state["healthy"] is True
+        gauges = registry.snapshot()["gauges"]
+        assert gauges['slo_healthy{slo="alert-latency-detect-p95"}'] == 1
+
+    def test_breach_is_edge_triggered_and_rearms(self):
+        # window=4, budget=0.25 -> one bad evaluation exhausts the budget.
+        registry, ledger, engine = self._latency_engine(0.001)
+        ledger.mark("t1", "tick_start", at=0.0)
+        ledger.mark("t1", "publish", at=1.0)  # 1s detect latency: bad
+        (breach,) = engine.evaluate()
+        assert breach.objective.name == "alert-latency-detect-p95"
+        assert breach.budget_used >= 1.0
+        assert breach.burn_rate >= 1.0
+        assert "threshold" in breach.detail
+
+        gauges = registry.snapshot()["gauges"]
+        assert gauges['slo_healthy{slo="alert-latency-detect-p95"}'] == 0
+        assert gauges['slo_budget_used{slo="alert-latency-detect-p95"}'] >= 1.0
+        assert gauges['slo_burn_rate{slo="alert-latency-detect-p95"}'] >= 1.0
+
+        # Still breached: no second alert for the same excursion.
+        assert engine.evaluate() == []
+
+        # Flood the reservoir with fast ticks until p95 drops below the
+        # threshold, then evaluate the window clean (the percentile is
+        # over the histogram's reservoir, so one slow outlier must be
+        # diluted, not merely followed).
+        for index in range(40):
+            trace = f"good{index}"
+            ledger.mark(trace, "tick_start", at=0.0)
+            ledger.mark(trace, "publish", at=0.0)
+        for _ in range(4):
+            engine.evaluate()
+        state = engine.state()["alert-latency-detect-p95"]
+        assert state["healthy"] is True
+        assert state["breached"] is False
+        gauges = registry.snapshot()["gauges"]
+        assert gauges['slo_healthy{slo="alert-latency-detect-p95"}'] == 1
+
+        # ...after which a fresh excursion alerts again (re-armed).
+        for index in range(200):
+            trace = f"slow{index}"
+            ledger.mark(trace, "tick_start", at=0.0)
+            ledger.mark(trace, "publish", at=2.0)
+        assert len(engine.evaluate()) == 1
+
+    def test_error_rate_uses_deltas_between_evaluations(self):
+        registry = MetricsRegistry()
+        requests = registry.counter(
+            "wire_requests_total", "requests", labels=("verb",)
+        )
+        errors = registry.counter(
+            "wire_request_errors_total", "request errors"
+        )
+        engine = SLOEngine(
+            registry, [wire_error_objective(0.5, window=4, budget=0.25)]
+        )
+
+        # Interval 1: 4 requests, 0 errors -> good.
+        requests.labels(verb="ping").inc(4)
+        assert engine.evaluate() == []
+
+        # Interval 2: no new requests -> skipped, window holds still.
+        assert engine.evaluate() == []
+        assert engine.state()["wire-error-rate"]["window"] == 1
+
+        # Interval 3: 2 new requests, 2 new errors -> rate 1.0 -> breach.
+        requests.labels(verb="list").inc(2)
+        errors.inc(2)
+        (breach,) = engine.evaluate()
+        assert breach.value == pytest.approx(1.0)
+        gauges = registry.snapshot()["gauges"]
+        assert gauges['slo_budget_used{slo="wire-error-rate"}'] >= 1.0
+
+
+class TestForcedBreachThroughMonitor:
+    def test_breach_emits_typed_alert_on_the_bus(self, tiny_world):
+        """End to end: an exhausted budget becomes an SLO_BREACH alert
+        with gapless seq, the tick's trace, and moving budget gauges."""
+        from repro.serve import ServeService
+        from repro.stream import AlertKind, StreamingMonitor
+
+        registry = MetricsRegistry()
+        monitor = StreamingMonitor.for_world(tiny_world, registry=registry)
+        service = ServeService(monitor, registry=registry)
+        # detect-stage data exists on every tick even without a wire
+        # subscriber; a sub-nanosecond threshold forces the first
+        # evaluated tick to blow the one-evaluation budget.
+        engine = SLOEngine(
+            registry,
+            [latency_objective(1e-9, stage="detect", window=2, budget=0.5)],
+        )
+        service.attach_slo(engine)
+        try:
+            for _ in range(3):
+                service.advance(
+                    min(
+                        tiny_world.node.block_number,
+                        monitor.processed_block + 25,
+                    )
+                )
+        finally:
+            service.shutdown()
+
+        breaches = [
+            alert
+            for alert in monitor.alerts
+            if alert.kind is AlertKind.SLO_BREACH
+        ]
+        assert breaches, "budget exhaustion never surfaced on the alert bus"
+        breach = breaches[0]
+        assert breach.slo == "alert-latency-detect-p95"
+        assert breach.budget_used >= 1.0
+        assert breach.detail
+        assert breach.trace  # carried like any other alert
+        # Exactly one alert per excursion, and seqs stay gapless.
+        assert len(breaches) == 1
+        assert [alert.seq for alert in monitor.alerts] == list(
+            range(len(monitor.alerts))
+        )
+        gauges = registry.snapshot()["gauges"]
+        assert gauges['slo_healthy{slo="alert-latency-detect-p95"}'] == 0
+        assert gauges['slo_budget_used{slo="alert-latency-detect-p95"}'] >= 1.0
