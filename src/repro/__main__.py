@@ -26,6 +26,13 @@ Two subcommands share the synthetic-world presets:
   (ok/degraded/unhealthy-or-unreachable) for scripting.
 * ``top`` is a curses-free live dashboard over the ``stats`` and
   ``health`` verbs (``--once`` for a single snapshot).
+* ``scenario`` replays a registered adversarial scenario
+  (:mod:`repro.simulation.scenarios`) against the full live stack --
+  ingest, the (optionally sharded) serving path and the wire tier
+  together -- under an accelerated clock, asserting
+  batch/stream/serve/wire parity and per-phase alert-latency SLOs.
+  ``--list`` prints the catalogue; exit 0 = every bar held, 1 = the
+  typed per-phase report shows what broke.
 """
 
 from __future__ import annotations
@@ -50,7 +57,7 @@ PRESETS = {
 }
 
 #: Recognized subcommands; a bare flag list falls through to ``run``.
-COMMANDS = ("run", "monitor", "serve", "query", "probe", "top")
+COMMANDS = ("run", "monitor", "serve", "query", "probe", "top", "scenario")
 
 
 def parse_endpoint(value: str) -> Tuple[str, int]:
@@ -574,6 +581,146 @@ def run_top(argv: Sequence[str]) -> int:
         return 0
 
 
+def build_scenario_parser() -> argparse.ArgumentParser:
+    """The ``scenario`` (adversarial replay) command-line interface."""
+    parser = argparse.ArgumentParser(
+        prog="repro scenario",
+        description=(
+            "Replay a registered adversarial scenario against the full "
+            "live stack (ingest + sharded serving + wire) under an "
+            "accelerated clock, asserting batch/stream/serve/wire parity "
+            "and per-phase alert-latency SLOs.  Exit 0 when every bar "
+            "holds, 1 with the typed per-phase report otherwise."
+        ),
+    )
+    parser.add_argument(
+        "name",
+        nargs="?",
+        metavar="NAME",
+        help="registered scenario to run (see --list)",
+    )
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        dest="list_scenarios",
+        help="list the registered scenario catalogue and exit",
+    )
+    parser.add_argument(
+        "--speed",
+        type=float,
+        default=None,
+        metavar="K",
+        help=(
+            "clock acceleration: K simulated seconds per wall second "
+            "(default: the spec's own; 0 replays unpaced)"
+        ),
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="world seed override (default: the spec's, then the preset's)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        help="number of serve-index shards (default: 1)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="refinement worker threads, 0 = inline (default: 0)",
+    )
+    parser.add_argument(
+        "--no-wire",
+        action="store_true",
+        help="skip the wire tier (no server, no wire parity check)",
+    )
+    parser.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the end-of-run parity battery",
+    )
+    parser.add_argument(
+        "--no-slo",
+        action="store_true",
+        help=(
+            "do not arm per-phase SLO engines (useful for byte-identity "
+            "studies; SLO evaluations read wall-clock latencies)"
+        ),
+    )
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="emit the final report as one JSON object instead of text",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress progress lines; print only the final report",
+    )
+    return parser
+
+
+def run_scenario_command(argv: Sequence[str]) -> int:
+    """Resolve, replay and judge one scenario from the registry."""
+    from repro.simulation.scenarios import (
+        RunOptions,
+        ScenarioFailure,
+        get_scenario,
+        run_scenario,
+        scenario_names,
+    )
+
+    parser = build_scenario_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_scenarios:
+        for name in scenario_names():
+            spec = get_scenario(name)
+            tags = f" [{', '.join(spec.tags)}]" if spec.tags else ""
+            print(f"{name}{tags}")
+            print(f"    {spec.description}")
+        return 0
+
+    if args.name is None:
+        parser.error("a scenario NAME is required (or use --list)")
+    try:
+        spec = get_scenario(args.name)
+    except ValueError as error:
+        print(f"scenario: {error}", file=sys.stderr)
+        return 2
+
+    progress = None if args.quiet else lambda line: print(line, flush=True)
+    options = RunOptions(
+        speed=args.speed,
+        seed=args.seed,
+        shards=args.shards,
+        workers=args.workers,
+        wire=not args.no_wire,
+        evaluate_slos=not args.no_slo,
+        verify_parity=not args.no_verify,
+        progress=None if args.as_json else progress,
+        raise_on_failure=False,
+    )
+    try:
+        report = run_scenario(spec, options)
+    except ScenarioFailure as failure:  # defensive; raise_on_failure=False
+        report = failure.report
+    if args.as_json:
+        print(json.dumps(report.as_dict(), sort_keys=True))
+    elif args.quiet:
+        print(report.render(), flush=True)
+    if report.ok:
+        return 0
+    for line in report.failures():
+        print(f"scenario: {line}", file=sys.stderr)
+    return 1
+
+
 def build_query_parser() -> argparse.ArgumentParser:
     """The ``query`` (wire client) command-line interface."""
     parser = argparse.ArgumentParser(
@@ -1095,6 +1242,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return run_probe(argv)
     if command == "top":
         return run_top(argv)
+    if command == "scenario":
+        return run_scenario_command(argv)
     return run_batch(argv)
 
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import Any, Mapping, Sequence
 
 from repro.utils.hashing import (
+    ERC1155_TRANSFER_BATCH_SIGNATURE,
     ERC1155_TRANSFER_SINGLE_SIGNATURE,
     ERC721_TRANSFER_SIGNATURE,
 )
@@ -53,8 +54,11 @@ class Log:
 
     @property
     def is_erc1155_transfer(self) -> bool:
-        """True for ERC-1155 TransferSingle events."""
-        return self.signature == ERC1155_TRANSFER_SINGLE_SIGNATURE
+        """True for ERC-1155 TransferSingle or TransferBatch events."""
+        return self.signature in (
+            ERC1155_TRANSFER_SINGLE_SIGNATURE,
+            ERC1155_TRANSFER_BATCH_SIGNATURE,
+        )
 
 
 def erc721_transfer_log(contract: str, sender: str, recipient: str, token_id: int) -> Log:
@@ -82,4 +86,26 @@ def erc1155_transfer_log(
         address=contract,
         topics=(ERC1155_TRANSFER_SINGLE_SIGNATURE, operator, sender, recipient),
         data={"id": token_id, "value": amount},
+    )
+
+
+def erc1155_transfer_batch_log(
+    contract: str,
+    operator: str,
+    sender: str,
+    recipient: str,
+    token_ids: Sequence[int],
+    amounts: Sequence[int],
+) -> Log:
+    """Build an ERC-1155 ``TransferBatch`` log (ids and amounts in data).
+
+    Like the real event it keeps four topics -- signature, operator,
+    from, to -- so it is structurally indistinguishable from an ERC-721
+    ``Transfer`` by topic *count* alone; only the signature separates
+    them, which is exactly the discrimination the ingest scan must make.
+    """
+    return Log(
+        address=contract,
+        topics=(ERC1155_TRANSFER_BATCH_SIGNATURE, operator, sender, recipient),
+        data={"ids": tuple(token_ids), "values": tuple(amounts)},
     )

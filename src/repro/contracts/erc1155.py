@@ -8,9 +8,9 @@ ours) must not pick them up.
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import TYPE_CHECKING, Dict, Tuple
+from typing import TYPE_CHECKING, Dict, Sequence, Tuple
 
-from repro.chain.events import erc1155_transfer_log
+from repro.chain.events import erc1155_transfer_batch_log, erc1155_transfer_log
 from repro.chain.types import NULL_ADDRESS
 from repro.contracts.base import (
     Contract,
@@ -23,9 +23,21 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class ERC1155Collection(Contract):
-    """A minimal ERC-1155 implementation emitting TransferSingle events."""
+    """A minimal ERC-1155 implementation emitting TransferSingle events.
 
-    EXPOSED_FUNCTIONS = {"mint", "safeTransferFrom"}
+    Besides single mint/transfer it supports the batch operations real
+    1155 tokenizers lean on -- ``mintBatch`` / ``burnBatch`` emit one
+    ``TransferBatch`` event covering many token ids at once, the pattern
+    game-item tokenizers use for inventory churn.
+    """
+
+    EXPOSED_FUNCTIONS = {
+        "mint",
+        "safeTransferFrom",
+        "mintBatch",
+        "burn",
+        "burnBatch",
+    }
     VIEW_FUNCTIONS = {"supportsInterface", "balanceOf", "name"}
     SUPPORTED_INTERFACES = {ERC165_INTERFACE_ID, ERC1155_INTERFACE_ID}
 
@@ -66,5 +78,71 @@ class ERC1155Collection(Contract):
         ctx.emit(
             erc1155_transfer_log(
                 self.bound_address, ctx.caller, sender, to, token_id, amount
+            )
+        )
+
+    def burn(self, ctx: "TxContext", sender: str, token_id: int, amount: int) -> None:
+        """Destroy ``amount`` units of ``token_id`` held by ``sender``."""
+        ctx.require(ctx.caller == sender, "only the owner may burn in this model")
+        ctx.require(
+            self._balances[(sender, token_id)] >= amount,
+            f"{sender} holds fewer than {amount} of token {token_id}",
+        )
+        self._balances[(sender, token_id)] -= amount
+        ctx.emit(
+            erc1155_transfer_log(
+                self.bound_address, ctx.caller, sender, NULL_ADDRESS, token_id, amount
+            )
+        )
+
+    def _require_batch(
+        self, ctx: "TxContext", token_ids: Sequence[int], amounts: Sequence[int]
+    ) -> None:
+        ctx.require(len(token_ids) > 0, "batch must not be empty")
+        ctx.require(
+            len(token_ids) == len(amounts), "ids and amounts length mismatch"
+        )
+        ctx.require(
+            all(amount > 0 for amount in amounts),
+            "batch amounts must be positive",
+        )
+
+    def mintBatch(
+        self,
+        ctx: "TxContext",
+        to: str,
+        token_ids: Sequence[int],
+        amounts: Sequence[int],
+    ) -> None:
+        """Mint several token ids in one call, emitting one TransferBatch."""
+        self._require_batch(ctx, token_ids, amounts)
+        for token_id, amount in zip(token_ids, amounts):
+            self._balances[(to, token_id)] += amount
+        ctx.emit(
+            erc1155_transfer_batch_log(
+                self.bound_address, ctx.caller, NULL_ADDRESS, to, token_ids, amounts
+            )
+        )
+
+    def burnBatch(
+        self,
+        ctx: "TxContext",
+        sender: str,
+        token_ids: Sequence[int],
+        amounts: Sequence[int],
+    ) -> None:
+        """Destroy several token ids in one call, emitting one TransferBatch."""
+        self._require_batch(ctx, token_ids, amounts)
+        ctx.require(ctx.caller == sender, "only the owner may burn in this model")
+        for token_id, amount in zip(token_ids, amounts):
+            ctx.require(
+                self._balances[(sender, token_id)] >= amount,
+                f"{sender} holds fewer than {amount} of token {token_id}",
+            )
+        for token_id, amount in zip(token_ids, amounts):
+            self._balances[(sender, token_id)] -= amount
+        ctx.emit(
+            erc1155_transfer_batch_log(
+                self.bound_address, ctx.caller, sender, NULL_ADDRESS, token_ids, amounts
             )
         )

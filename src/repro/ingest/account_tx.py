@@ -9,14 +9,16 @@ profitability analyses consume.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import Dict, Iterable, List, Optional
 
 from repro.chain.node import EthereumNode
 from repro.chain.transaction import Transaction
 
 
 def collect_account_transactions(
-    node: EthereumNode, accounts: Iterable[str]
+    node: EthereumNode,
+    accounts: Iterable[str],
+    to_block: Optional[int] = None,
 ) -> Dict[str, List[Transaction]]:
     """Return, for each account, every transaction it took part in.
 
@@ -24,10 +26,21 @@ def collect_account_transactions(
     party of an internal ETH transfer, or a party of an ERC-20 transfer
     log -- the same notion of involvement a trace-indexing archive node
     provides.
+
+    ``to_block`` clamps each history to the chain prefix ending at that
+    block (inclusive).  A prefix study would otherwise leak the future:
+    the archive node happily returns funding or exit transactions that
+    have not "happened yet" as of the prefix head, which no causally
+    driven consumer (the streaming cursor, a venue watching live) could
+    ever have seen.
     """
     collected: Dict[str, List[Transaction]] = {}
     for account in accounts:
         transactions = node.get_transactions_of(account)
+        if to_block is not None:
+            transactions = [
+                tx for tx in transactions if tx.block_number <= to_block
+            ]
         collected[account] = sorted(
             transactions, key=lambda tx: (tx.block_number, tx.hash)
         )

@@ -196,6 +196,14 @@ def build_dataset(
     compliance of the emitting contracts, enrich each transfer with its
     transaction context (price, gas, venue, co-occurring ERC-20 moves),
     then collect every transaction of every involved account.
+
+    The build is *causal*: with ``to_block`` set, the per-account
+    histories are clamped to the same prefix the transfer scan covered,
+    so a prefix build sees exactly what a live follower at block
+    ``to_block`` would have seen -- no future funding or exit
+    transactions leak in.  This makes ``build_dataset(to_block=B)``
+    directly comparable to mid-stream monitor state without any
+    node-wrapping workaround.
     """
     scan = scan_erc721_transfer_logs(node, from_block=from_block, to_block=to_block)
     compliance = check_erc721_compliance(node, sorted(scan.emitting_contracts))
@@ -219,6 +227,6 @@ def build_dataset(
         marketplace_addresses=dict(marketplace_addresses),
     )
     dataset.account_transactions = collect_account_transactions(
-        node, sorted(dataset.involved_accounts())
+        node, sorted(dataset.involved_accounts()), to_block=to_block
     )
     return dataset

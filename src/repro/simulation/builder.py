@@ -3,7 +3,8 @@
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.chain.chain import Chain
 from repro.chain.node import EthereumNode
@@ -52,11 +53,47 @@ WASH_TARGET_NAMES = (
 )
 
 
-class WorldBuilder:
-    """Builds a deterministic synthetic world from a :class:`SimulationConfig`."""
+@dataclass
+class DayHookContext:
+    """What a day hook may touch while the history is being generated.
 
-    def __init__(self, config: Optional[SimulationConfig] = None) -> None:
+    Hooks run at the start of their day, before any of that day's
+    organic activity, so a fee change or token churn is visible to every
+    trade the day produces -- the same ordering a real governance change
+    taking effect at midnight would have.
+    """
+
+    day: int
+    chain: Chain
+    kit: TradingKit
+    marketplaces: object
+    erc1155_address: Optional[str]
+    rng: DeterministicRNG
+
+
+#: A build-time intervention: called once on its scheduled day.
+DayHook = Callable[[DayHookContext], None]
+
+
+class WorldBuilder:
+    """Builds a deterministic synthetic world from a :class:`SimulationConfig`.
+
+    ``day_hooks`` is an optional iterable of ``(day, hook)`` pairs; each
+    hook fires at the start of its day with a :class:`DayHookContext`.
+    The scenario engine uses this to stage mid-history regime changes --
+    marketplace fee shifts, ERC-1155 tokenization waves -- without the
+    builder having to know about any specific intervention.
+    """
+
+    def __init__(
+        self,
+        config: Optional[SimulationConfig] = None,
+        day_hooks: Iterable[Tuple[int, DayHook]] = (),
+    ) -> None:
         self.config = config or SimulationConfig()
+        self.day_hooks: Dict[int, List[DayHook]] = {}
+        for day, hook in day_hooks:
+            self.day_hooks.setdefault(day, []).append(hook)
 
     # -- public API -----------------------------------------------------------------
     def build(self) -> World:
@@ -130,7 +167,15 @@ class WorldBuilder:
             traders=traders,
             )
 
-        self._run_timeline(clock, legit, distractors, scenarios)
+        hook_context = DayHookContext(
+            day=0,
+            chain=chain,
+            kit=kit,
+            marketplaces=marketplaces,
+            erc1155_address=erc1155_address,
+            rng=rng.child("day-hooks"),
+        )
+        self._run_timeline(clock, legit, distractors, scenarios, hook_context)
 
         return World(
             config=config,
@@ -303,6 +348,7 @@ class WorldBuilder:
         legit: LegitMarket,
         distractors: DistractorEngine,
         scenarios,
+        hook_context: Optional[DayHookContext] = None,
     ) -> None:
         config = self.config
         heap: List[Tuple[int, int, object]] = []
@@ -315,6 +361,10 @@ class WorldBuilder:
 
         for day in range(config.duration_days):
             clock.jump_to_day(day)
+            if hook_context is not None:
+                for hook in self.day_hooks.get(day, ()):
+                    hook_context.day = day
+                    hook(hook_context)
             legit.run_day(day)
             distractors.run_day(day)
             while heap and heap[0][0] <= day:
@@ -338,6 +388,9 @@ class WorldBuilder:
             heapq.heappush(heap, (max(next_day, final_day), sequence, generator))
 
 
-def build_default_world(config: Optional[SimulationConfig] = None) -> World:
+def build_default_world(
+    config: Optional[SimulationConfig] = None,
+    day_hooks: Iterable[Tuple[int, DayHook]] = (),
+) -> World:
     """Build a world from the default (or a provided) configuration."""
-    return WorldBuilder(config).build()
+    return WorldBuilder(config, day_hooks=day_hooks).build()

@@ -1,0 +1,78 @@
+"""Scenario machinery: the wash catalogue plus the declarative engine.
+
+Two layers share this package:
+
+* :mod:`~repro.simulation.scenarios.catalogue` -- the generator-based
+  wash-trading catalogue the world builder executes day by day (this
+  was the original ``repro.simulation.scenarios`` module; its public
+  names are re-exported here unchanged).
+* the declarative scenario engine -- frozen
+  :class:`~repro.simulation.scenarios.spec.ScenarioSpec` entries in a
+  :mod:`registry <repro.simulation.scenarios.registry>`, executed
+  against the full live stack by the
+  :mod:`runner <repro.simulation.scenarios.runner>` under a
+  :class:`~repro.simulation.scenarios.clock.SimulatedClock`
+  (``python -m repro scenario NAME``).
+"""
+
+from repro.simulation.scenarios.catalogue import (
+    GAS_BUFFER_ETH,
+    Scenario,
+    ScenarioFactory,
+    WashGroup,
+)
+from repro.simulation.scenarios.clock import SimulatedClock
+from repro.simulation.scenarios.registry import (
+    SCENARIOS,
+    get_scenario,
+    register,
+    scenario_names,
+)
+from repro.simulation.scenarios.runner import (
+    RunOptions,
+    build_scenario_world,
+    run_scenario,
+)
+from repro.simulation.scenarios.spec import (
+    FeeShift,
+    ParityCheck,
+    PhaseSLO,
+    PhaseSpec,
+    PhaseStats,
+    PhaseVerdict,
+    ReorgProfile,
+    ScenarioFailure,
+    ScenarioReport,
+    ScenarioSpec,
+    TokenizationWave,
+    WorldSpec,
+)
+
+__all__ = [
+    # catalogue (back-compat)
+    "GAS_BUFFER_ETH",
+    "Scenario",
+    "ScenarioFactory",
+    "WashGroup",
+    # engine
+    "SimulatedClock",
+    "SCENARIOS",
+    "get_scenario",
+    "register",
+    "scenario_names",
+    "RunOptions",
+    "build_scenario_world",
+    "run_scenario",
+    "FeeShift",
+    "ParityCheck",
+    "PhaseSLO",
+    "PhaseSpec",
+    "PhaseStats",
+    "PhaseVerdict",
+    "ReorgProfile",
+    "ScenarioFailure",
+    "ScenarioReport",
+    "ScenarioSpec",
+    "TokenizationWave",
+    "WorldSpec",
+]

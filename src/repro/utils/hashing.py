@@ -30,6 +30,13 @@ ERC1155_TRANSFER_SINGLE_SIGNATURE = (
     "0xc3d58168c5ae7397731d063d5bbf3d657854427343f4c083240f7aacaa2d0f62"
 )
 
+#: ``keccak("TransferBatch(address,address,address,uint256[],uint256[])")``
+#: -- the ERC-1155 batch mint/burn/transfer event.  Like TransferSingle
+#: it must never be picked up by the ERC-721 scan.
+ERC1155_TRANSFER_BATCH_SIGNATURE = (
+    "0x4a39dc06d4c0dbc64b70af90fd698a233a518aa5d07e595d983b8c0526c8f7fb"
+)
+
 #: ``keccak("Approval(address,address,uint256)")``.
 APPROVAL_SIGNATURE = (
     "0x8c5be1e5ebec7d5bd14f71427d1e84f3dd0314c0f7b2291e5b200ac8c7c3b925"
@@ -60,6 +67,9 @@ def event_signature(declaration: str) -> str:
         "Transfer(address,address,uint256)": ERC721_TRANSFER_SIGNATURE,
         "TransferSingle(address,address,address,uint256,uint256)": (
             ERC1155_TRANSFER_SINGLE_SIGNATURE
+        ),
+        "TransferBatch(address,address,address,uint256[],uint256[])": (
+            ERC1155_TRANSFER_BATCH_SIGNATURE
         ),
         "Approval(address,address,uint256)": APPROVAL_SIGNATURE,
     }

@@ -101,6 +101,122 @@ class TestERC1155:
                 timestamp=1_000_100,
             )
 
+    def test_burn_reduces_balance(self, chain):
+        collection = ERC1155Collection("Game Items")
+        address = chain.deploy_contract(collection)
+        chain.transact(
+            sender=ALICE, to=address, call=Call("mint", {"to": ALICE, "token_id": 7, "amount": 5}), timestamp=1_000_100
+        )
+        tx = chain.transact(
+            sender=ALICE,
+            to=address,
+            call=Call("burn", {"sender": ALICE, "token_id": 7, "amount": 3}),
+            timestamp=1_000_200,
+        )
+        assert collection.balanceOf(ALICE, 7) == 2
+        # A burn is a TransferSingle to the null address.
+        assert tx.logs[0].is_erc1155_transfer
+        assert tx.logs[0].topics[3] == "0x" + "0" * 40
+
+
+class TestERC1155Batch:
+    def test_mint_batch_credits_every_id(self, chain):
+        collection = ERC1155Collection("Game Items")
+        address = chain.deploy_contract(collection)
+        chain.transact(
+            sender=ALICE,
+            to=address,
+            call=Call("mintBatch", {"to": ALICE, "token_ids": [1, 2, 9], "amounts": [5, 3, 1]}),
+            timestamp=1_000_100,
+        )
+        assert collection.balanceOf(ALICE, 1) == 5
+        assert collection.balanceOf(ALICE, 2) == 3
+        assert collection.balanceOf(ALICE, 9) == 1
+
+    def test_transfer_batch_log_shape(self, chain):
+        """Four topics like ERC-721 Transfer; only the signature differs."""
+        from repro.utils.hashing import ERC1155_TRANSFER_BATCH_SIGNATURE, event_signature
+
+        collection = ERC1155Collection("Game Items")
+        address = chain.deploy_contract(collection)
+        tx = chain.transact(
+            sender=ALICE,
+            to=address,
+            call=Call("mintBatch", {"to": ALICE, "token_ids": [1, 2], "amounts": [5, 3]}),
+            timestamp=1_000_100,
+        )
+        (log,) = tx.logs
+        assert len(log.topics) == 4
+        assert log.topics[0] == ERC1155_TRANSFER_BATCH_SIGNATURE
+        assert log.topics[0] == event_signature(
+            "TransferBatch(address,address,address,uint256[],uint256[])"
+        )
+        assert log.data == {"ids": (1, 2), "values": (5, 3)}
+        assert log.is_erc1155_transfer
+        assert not log.is_erc721_transfer
+
+    def test_burn_batch_checks_all_balances_first(self, chain):
+        collection = ERC1155Collection("Game Items")
+        address = chain.deploy_contract(collection)
+        chain.transact(
+            sender=ALICE,
+            to=address,
+            call=Call("mintBatch", {"to": ALICE, "token_ids": [1, 2], "amounts": [5, 1]}),
+            timestamp=1_000_100,
+        )
+        # Second id overdraws: the whole batch reverts, nothing is debited.
+        with pytest.raises(ContractExecutionError):
+            chain.transact(
+                sender=ALICE,
+                to=address,
+                call=Call("burnBatch", {"sender": ALICE, "token_ids": [1, 2], "amounts": [2, 4]}),
+                timestamp=1_000_200,
+            )
+        assert collection.balanceOf(ALICE, 1) == 5
+        assert collection.balanceOf(ALICE, 2) == 1
+        chain.transact(
+            sender=ALICE,
+            to=address,
+            call=Call("burnBatch", {"sender": ALICE, "token_ids": [1], "amounts": [2]}),
+            timestamp=1_000_300,
+        )
+        assert collection.balanceOf(ALICE, 1) == 3
+
+    def test_malformed_batches_revert(self, chain):
+        collection = ERC1155Collection("Game Items")
+        address = chain.deploy_contract(collection)
+        for bad in (
+            {"to": ALICE, "token_ids": [], "amounts": []},
+            {"to": ALICE, "token_ids": [1, 2], "amounts": [5]},
+            {"to": ALICE, "token_ids": [1], "amounts": [0]},
+        ):
+            with pytest.raises(ContractExecutionError):
+                chain.transact(
+                    sender=ALICE, to=address, call=Call("mintBatch", bad), timestamp=1_000_100
+                )
+
+    def test_batch_events_invisible_to_erc721_scan(self, chain):
+        """TransferBatch churn must not register as ERC-721 transfers."""
+        from repro.chain.node import EthereumNode
+        from repro.ingest.transfer_scan import scan_erc721_transfer_logs
+
+        collection = ERC1155Collection("Game Items")
+        address = chain.deploy_contract(collection)
+        chain.transact(
+            sender=ALICE,
+            to=address,
+            call=Call("mintBatch", {"to": ALICE, "token_ids": [1, 2, 3], "amounts": [5, 3, 2]}),
+            timestamp=1_000_100,
+        )
+        chain.transact(
+            sender=ALICE,
+            to=address,
+            call=Call("burnBatch", {"sender": ALICE, "token_ids": [1, 3], "amounts": [2, 1]}),
+            timestamp=1_000_200,
+        )
+        scan = scan_erc721_transfer_logs(EthereumNode(chain))
+        assert scan.event_count == 0
+
 
 class TestNonCompliant:
     def test_emits_erc721_shaped_logs(self, chain):

@@ -165,3 +165,35 @@ class TestDatasetAssembly:
         dataset = build_dataset(world.node, world.marketplaces.addresses_by_name)
         assert dataset.total_volume_wei == eth_to_wei(2)
         assert dataset.volume_of_collection_wei(world.collection_address) == eth_to_wei(2)
+
+    def test_to_block_clamps_account_transactions(self, world):
+        """``build_dataset(to_block=B)`` must be causal end to end.
+
+        The transfer scan always stopped at B, but account transaction
+        histories used to span the whole chain -- a prefix build against
+        an archive node saw funding/exit transactions from the future.
+        Both views are clamped now.
+        """
+        alice, bob, carol, token_id, _ = script_basic_activity(world)
+        upper = world.node.block_number
+        # Mine post-cutoff activity involving an already-involved account.
+        world.kit.direct_transfer(
+            world.collection_address, token_id, carol, alice, day=5
+        )
+        world.kit.fund_from_exchange(alice, 3, day=5)
+        assert world.node.block_number > upper
+
+        clamped = build_dataset(
+            world.node, world.marketplaces.addresses_by_name, to_block=upper
+        )
+        full = build_dataset(world.node, world.marketplaces.addresses_by_name)
+        for account in clamped.involved_accounts():
+            assert all(
+                tx.block_number <= upper
+                for tx in clamped.transactions_of(account)
+            ), f"future transaction leaked into {account}'s clamped history"
+        # The unclamped build does see the later activity, so the clamp
+        # (not the scripted history) is what kept the prefix causal.
+        assert any(
+            tx.block_number > upper for tx in full.transactions_of(alice)
+        )

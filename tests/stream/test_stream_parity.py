@@ -262,33 +262,18 @@ class TestMonitorParity:
     def test_mid_stream_state_matches_causal_prefix(self, tiny_world):
         """Halfway through the chain, the monitor equals a *causal* prefix.
 
-        ``build_dataset(to_block=B)`` against a full archive node leaks
-        the future: the scan stops at B but the per-account transaction
-        collection returns whole-chain histories, so a naive replay sees
-        funding transactions that have not happened yet.  The monitor is
-        causally clamped, so the reference here is a batch build over a
-        node view that hides everything past B.
+        ``build_dataset(to_block=B)`` is causally clamped end to end:
+        the scan stops at B *and* the per-account transaction collection
+        filters out anything mined past B, so a plain prefix build
+        against the full archive node is a valid mid-stream reference --
+        no node-wrapping workaround required.
         """
-        from repro.chain.node import EthereumNode
-
-        class ClampedNode(EthereumNode):
-            def __init__(self, node, upper):
-                super().__init__(node.chain)
-                self._upper = upper
-
-            def get_transactions_of(self, address):
-                return [
-                    tx
-                    for tx in super().get_transactions_of(address)
-                    if tx.block_number <= self._upper
-                ]
-
         head = tiny_world.node.block_number
         upper = head // 2
         monitor = StreamingMonitor.for_world(tiny_world)
         monitor.run(to_block=upper, step_blocks=13)
         prefix = build_dataset(
-            ClampedNode(tiny_world.node, upper),
+            tiny_world.node,
             tiny_world.marketplace_addresses,
             to_block=upper,
         )

@@ -9,6 +9,7 @@ from repro.__main__ import (
     build_monitor_parser,
     build_parser,
     build_query_parser,
+    build_scenario_parser,
     build_serve_parser,
     main,
     parse_endpoint,
@@ -62,6 +63,70 @@ class TestParser:
             build_query_parser().parse_args(["ping"])  # --connect missing
         with pytest.raises(SystemExit):
             build_query_parser().parse_args(["--connect", "h:1"])  # no verb
+
+    def test_scenario_parser_defaults(self):
+        args = build_scenario_parser().parse_args(["reorg-storm-rush"])
+        assert args.name == "reorg-storm-rush"
+        assert args.speed is None and args.seed is None
+        assert args.shards == 1 and args.workers == 0
+        assert not args.no_wire and not args.no_verify and not args.no_slo
+        assert not args.list_scenarios and not args.as_json and not args.quiet
+
+    def test_scenario_parser_flags(self):
+        args = build_scenario_parser().parse_args(
+            [
+                "day-in-the-life",
+                "--speed", "500000", "--seed", "9",
+                "--shards", "4", "--workers", "2",
+                "--no-wire", "--no-slo", "--json", "--quiet",
+            ]
+        )
+        assert args.speed == 500000.0 and args.seed == 9
+        assert args.shards == 4 and args.workers == 2
+        assert args.no_wire and args.no_slo and args.as_json and args.quiet
+
+
+class TestScenarioCommand:
+    def test_list_prints_catalogue(self, capsys):
+        from repro.simulation.scenarios import scenario_names
+
+        exit_code = main(["scenario", "--list"])
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        for name in scenario_names():
+            assert name in captured.out
+
+    def test_unknown_scenario_exits_2(self, capsys):
+        exit_code = main(["scenario", "no-such-scenario"])
+        captured = capsys.readouterr()
+        assert exit_code == 2
+        assert "registered:" in captured.err
+
+    def test_missing_name_is_a_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["scenario"])
+        assert excinfo.value.code == 2
+
+    def test_quiet_run_passes_and_prints_report(self, capsys):
+        exit_code = main(
+            ["scenario", "fee-regime-shift", "--quiet", "--no-wire"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "scenario fee-regime-shift: PASS" in captured.out
+        assert "[PASS]" in captured.out
+
+    def test_json_run_emits_one_object(self, capsys):
+        import json as json_module
+
+        exit_code = main(
+            ["scenario", "fee-regime-shift", "--json", "--no-wire", "--quiet"]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        payload = json_module.loads(captured.out)
+        assert payload["scenario"] == "fee-regime-shift"
+        assert payload["ok"] is True
 
 
 class TestMain:
